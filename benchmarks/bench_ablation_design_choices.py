@@ -1,0 +1,205 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+The paper's Section 5 names Block size (s), amplitude (delta) and
+smoothing cycle (tau) as the throughput trade-off dimensions, and
+Section 3 chooses the chessboard pattern, the SRRC envelope and per-Block
+parity.  Each ablation here swaps one choice and measures the end-to-end
+consequence on the same link.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentScale
+from repro.analysis.reporting import format_table
+from repro.core.pipeline import run_link
+from repro.core.decoder import InFrameDecoder
+from repro.core.metrics import summarize_link
+
+from conftest import run_once
+
+SCALE = ExperimentScale.benchmark()
+
+
+def _run(config, video_name="gray", seed=1):
+    return run_link(config, SCALE.video(video_name), camera=SCALE.camera(), seed=seed)
+
+
+@pytest.fixture(scope="module")
+def pattern_results():
+    results = {}
+    for pattern in ("chessboard", "stripes", "random"):
+        config = SCALE.config(amplitude=20.0, tau=12).with_updates(pattern=pattern)
+        results[pattern] = _run(config).stats
+    return results
+
+
+def test_ablation_pattern(benchmark, emit, pattern_results):
+    rows = [
+        [name, f"{stats.bit_accuracy * 100:.1f}%", f"{stats.throughput_kbps:.2f}"]
+        for name, stats in pattern_results.items()
+    ]
+    emit(
+        "ablation_pattern",
+        format_table(
+            ["pattern", "bit accuracy", "throughput kbps"],
+            rows,
+            title="Ablation: modulation pattern (gray carrier, delta=20, tau=12)",
+        ),
+    )
+    config = SCALE.config(amplitude=20.0, tau=12)
+    run_once(benchmark, lambda: _run(config).stats)
+
+    # The chessboard's all-high-frequency spectrum is the point: it must
+    # beat the low-frequency stripes under the smooth-subtract detector.
+    assert (
+        pattern_results["chessboard"].bit_accuracy
+        >= pattern_results["stripes"].bit_accuracy
+    )
+    assert pattern_results["chessboard"].bit_accuracy > 0.9
+
+
+@pytest.fixture(scope="module")
+def waveform_results():
+    results = {}
+    for waveform in ("srrc", "linear", "stair"):
+        config = SCALE.config(amplitude=20.0, tau=12).with_updates(waveform=waveform)
+        results[waveform] = _run(config).stats
+    return results
+
+
+def test_ablation_waveform_throughput(benchmark, emit, waveform_results):
+    rows = [
+        [name, f"{stats.available_gob_ratio * 100:.1f}%", f"{stats.throughput_kbps:.2f}"]
+        for name, stats in waveform_results.items()
+    ]
+    emit(
+        "ablation_waveform",
+        format_table(
+            ["envelope", "available GOBs", "throughput kbps"],
+            rows,
+            title="Ablation: smoothing envelope's effect on the data channel",
+        ),
+    )
+    config = SCALE.config(amplitude=20.0, tau=12).with_updates(waveform="stair")
+    run_once(benchmark, lambda: _run(config).stats)
+
+    # Smoothing costs little data-channel performance: every envelope stays
+    # within ~20% of the best throughput (its benefit is perceptual).
+    best = max(stats.throughput_kbps for stats in waveform_results.values())
+    for name, stats in waveform_results.items():
+        assert stats.throughput_kbps > 0.8 * best, name
+
+
+@pytest.fixture(scope="module")
+def block_size_results():
+    results = {}
+    for s in (2, 3, 4):
+        config = SCALE.config(amplitude=20.0, tau=12).with_updates(pixels_per_block=s)
+        results[s] = _run(config).stats
+    return results
+
+
+def test_ablation_block_size(benchmark, emit, block_size_results):
+    rows = [
+        [
+            s,
+            f"{stats.bits_per_frame}",
+            f"{stats.available_gob_ratio * 100:.1f}%",
+            f"{stats.gob_error_rate * 100:.1f}%",
+            f"{stats.throughput_kbps:.2f}",
+        ]
+        for s, stats in block_size_results.items()
+    ]
+    emit(
+        "ablation_block_size",
+        format_table(
+            ["s (Pixels/Block)", "bits/frame", "avail", "err", "throughput kbps"],
+            rows,
+            title="Ablation: Block size s -- the paper's capacity/robustness tradeoff",
+        ),
+    )
+    config = SCALE.config(amplitude=20.0, tau=12).with_updates(pixels_per_block=2)
+    run_once(benchmark, lambda: _run(config).stats)
+
+    # Same Block *grid*, so bits/frame is constant here; what s buys is
+    # robustness: bigger Blocks average more camera pixels per decision.
+    accuracies = {s: stats.bit_accuracy for s, stats in block_size_results.items()}
+    assert accuracies[4] >= accuracies[2]
+
+
+@pytest.fixture(scope="module")
+def aggregation_results():
+    config = SCALE.config(amplitude=20.0, tau=12)
+    video = SCALE.video("gray")
+    camera = SCALE.camera()
+    out = {}
+    for aggregation in ("max", "mean"):
+        run = run_link(config, video, camera=camera, seed=1)
+        decoder = InFrameDecoder(
+            config, run.sender.geometry, camera.height, camera.width,
+            aggregation=aggregation,
+        )
+        decoded_all = decoder.decode(run.captures)
+        last = max(d.index for d in run.decoded)
+        decoded = [d for d in decoded_all if 1 <= d.index <= last]
+        truths = [run.sender.stream.ground_truth(d.index) for d in decoded]
+        out[aggregation] = summarize_link(truths, decoded, config)
+    return out
+
+
+def test_ablation_capture_aggregation(benchmark, emit, aggregation_results):
+    rows = [
+        [name, f"{stats.bit_accuracy * 100:.2f}%", f"{stats.available_gob_ratio * 100:.1f}%"]
+        for name, stats in aggregation_results.items()
+    ]
+    emit(
+        "ablation_aggregation",
+        format_table(
+            ["aggregation", "bit accuracy", "available GOBs"],
+            rows,
+            title="Ablation: multi-capture evidence aggregation",
+        ),
+    )
+    config = SCALE.config(amplitude=20.0, tau=12)
+    run_once(benchmark, lambda: _run(config).stats)
+
+    # Max-aggregation recovers rolling-shutter-cancelled Blocks that the
+    # stability-weighted mean dilutes.
+    assert (
+        aggregation_results["max"].bit_accuracy
+        >= aggregation_results["mean"].bit_accuracy
+    )
+
+
+@pytest.fixture(scope="module")
+def clip_mode_results():
+    results = {}
+    for mode in ("pixel", "block"):
+        config = SCALE.config(amplitude=30.0, tau=12).with_updates(clip_mode=mode)
+        results[mode] = _run(config, video_name="video").stats
+    return results
+
+
+def test_ablation_clip_mode(benchmark, emit, clip_mode_results):
+    rows = [
+        [name, f"{stats.bit_accuracy * 100:.1f}%", f"{stats.throughput_kbps:.2f}"]
+        for name, stats in clip_mode_results.items()
+    ]
+    emit(
+        "ablation_clip_mode",
+        format_table(
+            ["clip mode", "bit accuracy", "throughput kbps"],
+            rows,
+            title="Ablation: local amplitude adjustment granularity (sunrise, delta=30)",
+        ),
+    )
+    config = SCALE.config(amplitude=30.0, tau=12).with_updates(clip_mode="block")
+    run_once(benchmark, lambda: _run(config, video_name="video").stats)
+
+    # Per-pixel clipping preserves more amplitude on high-contrast content.
+    assert (
+        clip_mode_results["pixel"].bit_accuracy
+        >= clip_mode_results["block"].bit_accuracy - 0.02
+    )

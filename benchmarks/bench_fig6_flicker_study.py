@@ -1,0 +1,120 @@
+"""Figure 6: the 8-participant flicker study, both panels.
+
+Left: flicker perception vs colour brightness for delta in {20, 50}.
+Right: flicker perception vs waveform amplitude delta for tau in
+{10, 12, 14}.  Scores come from the simulated panel (seeded subjects,
+integer ratings, mean +/- std exactly as the paper plots); the trend
+assertions use the continuous model score, which is what the integer
+ratings estimate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    PAPER_FIG6_LEFT,
+    PAPER_FIG6_RIGHT,
+    run_fig6_left,
+    run_fig6_right,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.userstudy import SimulatedPanel
+
+from conftest import run_once
+
+BRIGHTNESS = (60, 100, 140, 180, 200)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return SimulatedPanel()
+
+
+@pytest.fixture(scope="module")
+def left_results(panel):
+    return run_fig6_left(brightness_values=BRIGHTNESS, panel=panel)
+
+
+@pytest.fixture(scope="module")
+def right_results(panel):
+    return run_fig6_right(panel=panel)
+
+
+def test_fig6_left_brightness(benchmark, emit, left_results):
+    rows = []
+    for value in BRIGHTNESS:
+        r20 = left_results[(20.0, value)]
+        r50 = left_results[(50.0, value)]
+        paper20 = PAPER_FIG6_LEFT[20].get(value)
+        paper50 = PAPER_FIG6_LEFT[50].get(value)
+        rows.append(
+            [
+                value,
+                f"{r20.mean_score:.2f}+/-{r20.std_score:.2f}",
+                f"~{paper20:.2f}" if paper20 is not None else "-",
+                f"{r50.mean_score:.2f}+/-{r50.std_score:.2f}",
+                f"~{paper50:.2f}" if paper50 is not None else "-",
+            ]
+        )
+    emit(
+        "fig6_left",
+        format_table(
+            ["brightness", "d=20 (panel)", "paper", "d=50 (panel)", "paper"],
+            rows,
+            title="Figure 6 (left): flicker perception vs colour brightness (tau=12)",
+        ),
+    )
+    run_once(benchmark, lambda: run_fig6_left(brightness_values=(127,), deltas=(20.0,)))
+
+    # Shape: delta=50 clearly above delta=20 at every brightness.
+    for value in BRIGHTNESS:
+        assert left_results[(50.0, value)].mean_score > left_results[(20.0, value)].mean_score
+
+    # Shape: brightness raises perceived flicker (model scores, end-to-end).
+    for delta in (20.0, 50.0):
+        dim = left_results[(delta, 60)].model_score
+        bright = left_results[(delta, 200)].model_score
+        assert bright > dim, (delta, dim, bright)
+
+    # The paper's satisfactory band: delta=20 averages below 1 everywhere,
+    # "in all the tests, the average score is below 1".
+    for value in BRIGHTNESS:
+        assert left_results[(20.0, value)].mean_score < 1.0
+
+
+def test_fig6_right_amplitude_cycle(benchmark, emit, right_results):
+    rows = []
+    for delta in (20.0, 30.0, 50.0):
+        row = [int(delta)]
+        for tau in (10, 12, 14):
+            result = right_results[(delta, tau)]
+            row.append(f"{result.mean_score:.2f}+/-{result.std_score:.2f}")
+        for tau in (10, 12, 14):
+            row.append(f"~{PAPER_FIG6_RIGHT[tau][int(delta)]:.2f}")
+        rows.append(row)
+    emit(
+        "fig6_right",
+        format_table(
+            ["delta", "tau=10", "tau=12", "tau=14", "p~10", "p~12", "p~14"],
+            rows,
+            title="Figure 6 (right): flicker perception vs amplitude and cycle",
+        ),
+    )
+    run_once(benchmark, lambda: run_fig6_right(deltas=(20.0,), taus=(12,)))
+
+    # Shape: flicker grows with amplitude at every tau.
+    for tau in (10, 12, 14):
+        s20 = right_results[(20.0, tau)].model_score
+        s30 = right_results[(30.0, tau)].model_score
+        s50 = right_results[(50.0, tau)].model_score
+        assert s20 < s30 < s50
+
+    # Shape: "longer cycles tend to reduce the perceived flickers".
+    for delta in (20.0, 30.0, 50.0):
+        s10 = right_results[(delta, 10)].model_score
+        s14 = right_results[(delta, 14)].model_score
+        assert s14 <= s10 + 1e-6
+
+    # The paper's operating point is satisfactory.
+    assert right_results[(20.0, 12)].mean_score < 1.0

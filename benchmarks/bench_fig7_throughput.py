@@ -1,0 +1,103 @@
+"""Figure 7: throughput, available-GOB ratio and error rate per condition.
+
+The paper's headline evaluation: for each input video (gray 127, dark gray
+180, sunrise clip) and each (delta, tau) setting, the achieved throughput
+in kbps with the availability/error accounting.  Reproduced end to end on
+the simulated link at the benchmark scale (same Block grid and rates as
+the paper, smaller Block footprint -- see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    PAPER_FIG7,
+    ExperimentScale,
+    run_fig7_condition,
+)
+from repro.analysis.reporting import format_table
+
+from conftest import run_once
+
+SETTINGS = ((20.0, 10), (20.0, 12), (20.0, 14), (30.0, 12))
+
+
+@pytest.fixture(scope="module")
+def fig7_results():
+    scale = ExperimentScale.benchmark()
+    results = {}
+    for video in ("gray", "dark-gray", "video"):
+        for delta, tau in SETTINGS:
+            results[(video, delta, tau)] = run_fig7_condition(video, delta, tau, scale)
+    return results
+
+
+def _table(results) -> str:
+    rows = []
+    for video in ("gray", "dark-gray", "video"):
+        for delta, tau in SETTINGS:
+            stats = results[(video, delta, tau)]
+            paper = PAPER_FIG7[video]
+            paper_tput = paper["throughput_kbps"].get((int(delta), tau))
+            paper_avail = paper["available"].get((int(delta), tau))
+            paper_err = paper["error"].get((int(delta), tau))
+            rows.append(
+                [
+                    video,
+                    f"d={int(delta)} tau={tau}",
+                    f"{stats.throughput_kbps:5.2f}",
+                    f"{paper_tput:5.2f}" if paper_tput else "-",
+                    f"{stats.available_gob_ratio * 100:5.1f}%",
+                    f"{paper_avail * 100:5.1f}%" if paper_avail else "-",
+                    f"{stats.gob_error_rate * 100:5.1f}%",
+                    f"{paper_err * 100:5.1f}%" if paper_err else "-",
+                ]
+            )
+    return format_table(
+        ["video", "setting", "tput", "paper", "avail", "paper", "err", "paper"],
+        rows,
+        title="Figure 7: InFrame screen-camera data communication",
+    )
+
+
+def test_fig7_throughput(benchmark, emit, fig7_results):
+    emit("fig7_throughput", _table(fig7_results))
+    results = fig7_results
+    run_once(benchmark, lambda: run_fig7_condition("gray", 20.0, 12, ExperimentScale.benchmark()))
+
+    # --- Shape assertions -------------------------------------------------
+    # 1. Pure-colour carriers deliver roughly the paper's rates (9-13 kbps).
+    for video in ("gray", "dark-gray"):
+        for delta, tau in SETTINGS:
+            tput = results[(video, delta, tau)].throughput_kbps
+            assert 7.0 < tput < 14.0, (video, delta, tau, tput)
+
+    # 2. Throughput falls as tau grows (rate = refresh / tau).
+    for video in ("gray", "dark-gray"):
+        t10 = results[(video, 20.0, 10)].throughput_kbps
+        t12 = results[(video, 20.0, 12)].throughput_kbps
+        t14 = results[(video, 20.0, 14)].throughput_kbps
+        assert t10 > t12 > t14
+
+    # 3. Real video is the hard case: clearly below pure colour, in the
+    #    paper's 5-7 kbps band at delta=20.
+    for delta, tau in SETTINGS:
+        video_tput = results[("video", delta, tau)].throughput_kbps
+        gray_tput = results[("gray", delta, tau)].throughput_kbps
+        assert video_tput < 0.85 * gray_tput, (delta, tau)
+
+    # 4. Video availability and errors match the paper's character:
+    #    availability far below pure colour, error rate several-fold higher.
+    video_stats = results[("video", 20.0, 12)]
+    gray_stats = results[("gray", 20.0, 12)]
+    assert video_stats.available_gob_ratio < gray_stats.available_gob_ratio - 0.1
+    assert video_stats.gob_error_rate > 2.0 * gray_stats.gob_error_rate
+
+    # 5. The paper's delta=30 rescue on video content: higher amplitude
+    #    buys back availability and cuts errors versus delta=20.
+    v20 = results[("video", 20.0, 12)]
+    v30 = results[("video", 30.0, 12)]
+    assert v30.available_gob_ratio > v20.available_gob_ratio
+    assert v30.gob_error_rate < v20.gob_error_rate
+    assert v30.throughput_kbps > v20.throughput_kbps

@@ -1,0 +1,61 @@
+"""The paper's headline claims (abstract and Section 4).
+
+* "about 12.8kbps data rate with imperceptible video artifacts when being
+  played back at 120FPS" -- pure light-gray carrier, best tau;
+* "about 7.0 kbps when being multiplexed over a normal video" -- the
+  sunrise clip at delta=30, tau=12;
+* imperceptibility: the flicker panel rates the winning configuration
+  satisfactory (< 1.5 on the 0-4 scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentScale,
+    flicker_timeline,
+    run_fig7_condition,
+)
+from repro.analysis.reporting import format_table, paper_vs_measured
+from repro.analysis.userstudy import SimulatedPanel
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def headline():
+    scale = ExperimentScale.benchmark()
+    return {
+        "gray_best": run_fig7_condition("gray", 20.0, 10, scale),
+        "video_best": run_fig7_condition("video", 30.0, 12, scale),
+    }
+
+
+def test_headline_rates(benchmark, emit, headline):
+    gray = headline["gray_best"]
+    video = headline["video_best"]
+    study = SimulatedPanel().study(flicker_timeline(20.0, 10, 127.0), duration_s=0.5)
+    lines = [
+        paper_vs_measured("gray best-case throughput", 12.8, gray.throughput_kbps, " kbps"),
+        paper_vs_measured("normal-video throughput", 7.0, video.throughput_kbps, " kbps"),
+        paper_vs_measured("flicker score at delta=20 tau=10", 0.5, study.mean_score),
+    ]
+    emit(
+        "headline_rates",
+        format_table(
+            ["claim"],
+            [[line] for line in lines],
+            title="Headline claims (paper abstract / Section 4)",
+        ),
+    )
+    run_once(
+        benchmark,
+        lambda: run_fig7_condition("gray", 20.0, 10, ExperimentScale.benchmark()),
+    )
+
+    # Within a factor ~1.3 of the paper's headline numbers.
+    assert 9.5 < gray.throughput_kbps < 14.5
+    assert 5.3 < video.throughput_kbps < 9.0
+    # And the viewer does not notice.
+    assert study.mean_score < 1.5

@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once (via ``benchmark.pedantic`` so pytest-benchmark also
+times it), prints the paper-vs-measured rows, writes them under
+``benchmarks/results/`` for later inspection, and asserts the *shape* of
+the result (who wins, rough factors, trend directions) rather than exact
+numbers -- the substrate is a simulator, not the authors' testbed.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory collecting the regenerated tables."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a regenerated table and persist it to the results directory."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

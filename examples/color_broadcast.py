@@ -1,0 +1,66 @@
+"""Colour content end to end: RGB sunrise, payload, and viewer check.
+
+Demonstrates the RGB pipeline: the gray chessboard rides on all three
+channels of a colour-graded sunrise clip, the (luminance-sensing) camera
+decodes it, and the HVS model confirms the viewer still just sees a
+sunrise.  Uses delta=30 with adaptive amplitude, the best setting for
+textured content.
+
+Run:  python examples/color_broadcast.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CameraModel, FlickerPredictor, InFrameConfig
+from repro.core.framing import PayloadSchedule, ZeroSchedule
+from repro.core.pipeline import InFrameSender, run_link
+from repro.video import rgb_sunrise_video
+
+CAPTION_TRACK = (
+    "[00:01] The sun crests the horizon.\n"
+    "[00:02] Golden light spreads across the water."
+).encode()
+
+
+def main() -> None:
+    config = InFrameConfig(
+        amplitude=35.0, tau=12, adaptive_amplitude=True
+    ).scaled(0.45)
+    video = rgb_sunrise_video(540, 960, n_frames=60)
+    print(f"Content: {video.n_frames} RGB frames at {video.fps:g} FPS "
+          f"({video.duration_s:.1f}s)")
+
+    # Colour content is the harshest channel here (the gray chessboard is
+    # bounded by the most extreme of the three channels), so the caption
+    # track gets heavy RS protection.
+    schedule = PayloadSchedule(config, CAPTION_TRACK, rs_n=60, rs_k=12)
+    camera = CameraModel(width=640, height=360)
+    run = run_link(config, video, camera=camera, schedule=schedule, seed=9)
+    print(f"Link: {run.stats.row()}")
+
+    captions = run.receiver.assemble_payload(run.decoded).decode()
+    print("\nRecovered caption track:")
+    for line in captions.splitlines():
+        print(f"  {line}")
+    assert captions.encode() == CAPTION_TRACK
+
+    # The viewer's experience, scored against the plain colour clip.
+    plain = InFrameSender(config, video, schedule=ZeroSchedule(config)).timeline()
+    report = FlickerPredictor().report(
+        run.sender.timeline(), duration_s=0.5, reference=plain
+    )
+    print(f"\nFlicker vs original: {report.score:.2f} / 4 "
+          f"({'satisfactory' if report.satisfactory else 'visible'})")
+
+    # Show that the modulation really is colour-neutral.
+    frame = run.sender.stream.frame(0)
+    diff = frame - video.frame(0)
+    channel_spread = float(np.abs(diff[..., 0] - diff[..., 1]).max())
+    print(f"Max channel asymmetry of the modulation: {channel_spread:.4f} "
+          "(0 = perfectly gray)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Reliable file transfer over the screen-camera channel.
+
+Stresses the whole stack: a multi-kilobyte file is CRC-protected,
+Reed-Solomon coded, interleaved, multiplexed over the textured sunrise
+clip (the paper's hard content case), filmed, decoded with erasure
+information from unavailable GOBs, and verified byte-for-byte.
+
+Run:  python examples/file_transfer.py
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+
+from repro import CameraModel, InFrameConfig, sunrise_video
+from repro.core.framing import PayloadAssembler, PayloadSchedule
+from repro.core.pipeline import run_link
+
+
+def make_file(n_bytes: int) -> bytes:
+    """A compressible but non-trivial synthetic file."""
+    text = ("InFrame dual-mode full-frame visible communication. " * 200).encode()
+    return zlib.compress(text)[:n_bytes].ljust(n_bytes, b"\x00")
+
+
+def main() -> None:
+    payload = make_file(600)
+    checksum = zlib.crc32(payload)
+    print(f"Transferring {len(payload)} bytes (crc32 {checksum:#010x})")
+
+    config = InFrameConfig(amplitude=30.0, tau=12).scaled(0.45)
+    schedule = PayloadSchedule(config, payload, rs_n=60, rs_k=24)
+    passes_per_message = schedule.n_payload_frames
+    print(f"Message: {schedule.plan.n_codewords} RS(60,24) codewords, "
+          f"{passes_per_message} data frames per pass")
+
+    # Enough video for ~2.5 passes of the message.
+    n_video_frames = int(passes_per_message * 2.5 * config.tau / config.frame_duplication) + 8
+    video = sunrise_video(540, 960, n_frames=n_video_frames)
+    camera = CameraModel(width=640, height=360)
+
+    start = time.perf_counter()
+    run = run_link(config, video, camera=camera, schedule=schedule, seed=21)
+    elapsed = time.perf_counter() - start
+    print(f"\nSimulated {video.duration_s:.1f}s of playback in {elapsed:.1f}s wall clock")
+    print(f"Link: {run.stats.row()}")
+
+    assembler = PayloadAssembler(config, schedule.plan)
+    for frame in run.decoded:
+        assembler.add_frame(frame)
+        if assembler.coverage() == 1.0:
+            break
+    print(f"Message coverage after {len(run.decoded)} decoded frames: "
+          f"{assembler.coverage() * 100:.1f}%")
+
+    received = assembler.payload()
+    assert received == payload, "file corrupted in transfer"
+    effective_bps = len(payload) * 8 / video.duration_s
+    print(f"File recovered intact (crc32 {zlib.crc32(received):#010x})")
+    print(f"Effective goodput: {effective_bps / 1000:.2f} kbps over video content")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Off-axis capture: decoding InFrame from the side of the room.
+
+The paper captures fronto-parallel from 50 cm.  This example walks a
+simulated phone through four positions -- straight on, then 15/30/45
+degrees of yaw -- with a corner-calibrated receiver (the decoder warps its
+Block map through the known display-quad homography) and prints the cost
+of each step.
+
+Run:  python examples/off_axis_capture.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import CameraModel, InFrameConfig, PerspectiveView, pure_color_video, run_link
+
+
+def main() -> None:
+    config = InFrameConfig(amplitude=20.0, tau=12).scaled(0.45)
+    video = pure_color_video(540, 960, 127.0, n_frames=36)
+    camera = CameraModel(width=640, height=360)
+
+    print("Walking the camera around the display (gray carrier, delta=20):\n")
+    print(f"{'position':>14s}  {'bit acc':>8s}  {'avail':>6s}  {'throughput':>10s}")
+    baseline = None
+    for yaw in (0, 15, 30, 45):
+        view = PerspectiveView.tilted(
+            camera.height, camera.width, yaw_deg=yaw, fill=0.9
+        )
+        stats = run_link(
+            config, video, camera=replace(camera, view=view), seed=1
+        ).stats
+        if baseline is None:
+            baseline = stats.throughput_kbps
+        label = "straight on" if yaw == 0 else f"{yaw} deg yaw"
+        print(
+            f"{label:>14s}  {stats.bit_accuracy * 100:7.1f}%  "
+            f"{stats.available_gob_ratio * 100:5.1f}%  "
+            f"{stats.throughput_kbps:6.2f} kbps ({stats.throughput_kbps / baseline * 100:.0f}%)"
+        )
+
+    print(
+        "\nWith corner calibration the projective distortion is nearly free:\n"
+        "the quad's far edge loses a little Block area (fewer sensor pixels\n"
+        "per bit), everything else decodes as if fronto-parallel."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Internal utilities shared across the :mod:`repro` subpackages.
+
+Nothing in here is part of the public API; import from the relevant
+subpackage instead.
+"""
+
+from repro._util.validation import (
+    check_fraction,
+    check_frame,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "check_fraction",
+    "check_frame",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+]

@@ -1,0 +1,34 @@
+"""Experiment harness: simulated user study, sweeps, and reporting.
+
+Everything the benchmarks need to regenerate the paper's tables and
+figures lives here, so a bench file is just "run the experiment, print the
+table, assert the shape".
+"""
+
+from repro.analysis.reporting import format_table, format_series
+from repro.analysis.userstudy import PanelResult, SimulatedPanel
+from repro.analysis.experiments import (
+    ExperimentScale,
+    PAPER_FIG6_LEFT,
+    PAPER_FIG6_RIGHT,
+    PAPER_FIG7,
+    fig7_conditions,
+    run_fig6_left,
+    run_fig6_right,
+    run_fig7_condition,
+)
+
+__all__ = [
+    "SimulatedPanel",
+    "PanelResult",
+    "format_table",
+    "format_series",
+    "ExperimentScale",
+    "fig7_conditions",
+    "run_fig7_condition",
+    "run_fig6_left",
+    "run_fig6_right",
+    "PAPER_FIG7",
+    "PAPER_FIG6_LEFT",
+    "PAPER_FIG6_RIGHT",
+]

@@ -1,0 +1,66 @@
+"""Fixed-width table and series formatting for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures report;
+these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Column widths adapt to content; numbers should be pre-formatted by the
+    caller so precision stays experiment-controlled.
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    n_cols = max(len(row) for row in cells)
+    for row in cells:
+        row.extend([""] * (n_cols - len(row)))
+    widths = [max(len(row[i]) for row in cells) for i in range(n_cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series the way a figure's data table would."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    rows = [[str(x), str(y)] for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def paper_vs_measured(
+    label: str,
+    paper_value: float | None,
+    measured_value: float,
+    unit: str = "",
+) -> str:
+    """One comparison line: paper figure vs this reproduction."""
+    measured = f"{measured_value:.2f}{unit}"
+    if paper_value is None:
+        return f"{label}: paper=n/a measured={measured}"
+    ratio = measured_value / paper_value if paper_value else float("inf")
+    return (
+        f"{label}: paper={paper_value:.2f}{unit} measured={measured} "
+        f"(x{ratio:.2f})"
+    )

@@ -1,0 +1,30 @@
+"""Comparison systems.
+
+Four reference points frame InFrame's contribution:
+
+* :mod:`repro.baselines.naive` -- the paper's own Figure 3 naive designs
+  (insert raw data frames between video frames); they fail the CFF
+  constraint and flicker badly, which motivates complementary frames;
+* :mod:`repro.baselines.qr_region` -- the status quo the introduction
+  argues against: a visible dynamic barcode occupying part of the screen,
+  trading display area for data;
+* :mod:`repro.baselines.lsb_stego` -- classic LSB steganography; invisible
+  on-file but unrecoverable over the optical screen-camera channel, which
+  is why InFrame is not "just steganography" (paper Section 6);
+* :mod:`repro.baselines.hue_shift` -- a simplified HiLight-style scheme
+  keying small uniform luminance offsets per block (translucency change)
+  instead of a chessboard.
+"""
+
+from repro.baselines.hue_shift import HueShiftScheme
+from repro.baselines.lsb_stego import LSBSteganography
+from repro.baselines.naive import NaiveDesign, NaiveScheme
+from repro.baselines.qr_region import QRRegionScheme
+
+__all__ = [
+    "NaiveDesign",
+    "NaiveScheme",
+    "QRRegionScheme",
+    "LSBSteganography",
+    "HueShiftScheme",
+]

@@ -1,0 +1,93 @@
+"""HiLight-style translucency keying (simplified, grayscale).
+
+The paper's related work cites HiLight ("conveys data bits by adjusting
+the hues of the image") among unobtrusive screen-camera schemes.  The
+grayscale analogue keys each Block with a small *uniform* luminance offset
+(+a for 1, -a for 0) alternating at the complementary rate, instead of
+InFrame's spatial chessboard.
+
+The interesting comparison: a uniform offset has *no* high-spatial-
+frequency signature, so the induced-noise detector cannot see it; the
+receiver must instead difference complementary capture pairs, which is far
+more sensitive to content motion and rolling shutter.  The benchmark
+quantifies that gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.camera.capture import CapturedFrame
+from repro.core.config import InFrameConfig
+from repro.core.geometry import FrameGeometry
+from repro.core.multiplexer import DataFrameSchedule
+from repro.video.source import VideoSource
+
+
+class HueShiftScheme:
+    """Uniform-offset Block keying stream (FrameSource protocol).
+
+    Parameters
+    ----------
+    config:
+        Reused for grid geometry, tau and clock rates; ``amplitude`` is the
+        uniform offset (HiLight-class schemes use very small offsets to
+        stay unobtrusive -- a few levels).
+    video, schedule:
+        Content and data supplier, as for the InFrame multiplexer.
+    """
+
+    def __init__(
+        self,
+        config: InFrameConfig,
+        video: VideoSource,
+        schedule: DataFrameSchedule,
+    ) -> None:
+        self.config = config
+        self.video = video
+        self.schedule = schedule
+        self.geometry = FrameGeometry(config, video.height, video.width)
+        self._n_frames = video.n_frames * config.frame_duplication
+
+    @property
+    def n_frames(self) -> int:
+        """Display frames in the stream."""
+        return self._n_frames
+
+    def frame(self, index: int) -> np.ndarray:
+        """Video plus the signed uniform Block offsets."""
+        if not (0 <= index < self._n_frames):
+            raise IndexError(f"frame index {index} outside [0, {self._n_frames})")
+        video_frame = self.video.frame(index // self.config.frame_duplication)
+        data_index = index // self.config.tau
+        bits = np.asarray(self.schedule.bits(data_index), dtype=bool)
+        signed = np.where(bits, 1.0, -1.0).astype(np.float32)
+        field = self.geometry.expand_block_grid(signed)
+        sign = np.float32(1.0 if index % 2 == 0 else -1.0)
+        offset = sign * np.float32(self.config.amplitude) * field
+        return np.clip(video_frame + offset, 0.0, 255.0).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Decoding: complementary pair differencing
+    # ------------------------------------------------------------------
+    def decode_pair(
+        self,
+        capture_a: CapturedFrame,
+        capture_b: CapturedFrame,
+        camera_shape: tuple[int, int],
+        inset: float = 0.2,
+    ) -> np.ndarray:
+        """Recover Block bits from two captures of opposite carrier sign.
+
+        Returns the per-Block signed difference means; positive means bit 1
+        under the convention that *capture_a* saw the ``+`` phase.
+        """
+        cam_h, cam_w = camera_shape
+        labels = self.geometry.camera_block_index_maps(cam_h, cam_w, inset)
+        valid = labels >= 0
+        diff = capture_a.pixels.astype(np.float64) - capture_b.pixels.astype(np.float64)
+        n_blocks = self.config.block_rows * self.config.block_cols
+        counts = np.bincount(labels[valid], minlength=n_blocks).astype(np.float64)
+        sums = np.bincount(labels[valid], weights=diff[valid], minlength=n_blocks)
+        means = np.divide(sums, counts, out=np.zeros_like(sums), where=counts > 0)
+        return means.reshape(self.config.block_rows, self.config.block_cols)

@@ -1,0 +1,84 @@
+"""LSB steganography baseline.
+
+The paper's related-work section distinguishes InFrame from steganography:
+stego hides bits in the least-significant bits of pixel values, which is
+invisible on-file *and* invisible to a camera -- the optical channel's
+gamma, blur, resampling and noise obliterate sub-count modulations.  This
+module implements classic LSB embedding/extraction so the benchmark can
+demonstrate both halves: perfect recovery file-to-file, chance-level
+recovery over the simulated screen-camera link.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_frame, check_positive_int
+
+
+class LSBSteganography:
+    """Embed/extract bits in the least-significant bits of a frame.
+
+    Parameters
+    ----------
+    bits_per_pixel:
+        How many low-order bitplanes to use (1 = classic LSB).
+    """
+
+    def __init__(self, bits_per_pixel: int = 1) -> None:
+        self.bits_per_pixel = check_positive_int(bits_per_pixel, "bits_per_pixel")
+        if self.bits_per_pixel > 4:
+            raise ValueError("more than 4 bitplanes is visibly destructive")
+
+    def capacity(self, frame_shape: tuple[int, int]) -> int:
+        """Bits one frame can carry."""
+        height, width = frame_shape
+        return height * width * self.bits_per_pixel
+
+    def embed(self, frame: np.ndarray, bits: np.ndarray) -> np.ndarray:
+        """Return a copy of *frame* carrying *bits* in its low bitplanes.
+
+        Bits fill pixels row-major, ``bits_per_pixel`` at a time (LSB
+        first); unused capacity keeps the original low bits.
+        """
+        frame = check_frame(frame, "frame")
+        bits = np.asarray(bits, dtype=bool).ravel()
+        if bits.size > self.capacity(frame.shape):
+            raise ValueError(
+                f"{bits.size} bits exceed capacity {self.capacity(frame.shape)}"
+            )
+        values = np.round(frame).astype(np.uint8).ravel()
+        n_pixels = (bits.size + self.bits_per_pixel - 1) // self.bits_per_pixel
+        padded = np.zeros(n_pixels * self.bits_per_pixel, dtype=bool)
+        padded[: bits.size] = bits
+        planes = padded.reshape(n_pixels, self.bits_per_pixel)
+        mask = np.uint8((0xFF << self.bits_per_pixel) & 0xFF)
+        payload = np.zeros(n_pixels, dtype=np.uint8)
+        for plane in range(self.bits_per_pixel):
+            payload |= planes[:, plane].astype(np.uint8) << plane
+        values[:n_pixels] = (values[:n_pixels] & mask) | payload
+        return values.reshape(frame.shape).astype(np.float32)
+
+    def extract(self, frame: np.ndarray, n_bits: int) -> np.ndarray:
+        """Read *n_bits* back out of a (possibly degraded) frame."""
+        frame = np.asarray(frame, dtype=np.float32)
+        values = np.clip(np.round(frame), 0, 255).astype(np.uint8).ravel()
+        n_pixels = (n_bits + self.bits_per_pixel - 1) // self.bits_per_pixel
+        if n_pixels > values.size:
+            raise ValueError(f"frame too small for {n_bits} bits")
+        out = np.zeros(n_pixels * self.bits_per_pixel, dtype=bool)
+        planes = out.reshape(n_pixels, self.bits_per_pixel)
+        for plane in range(self.bits_per_pixel):
+            planes[:, plane] = (values[:n_pixels] >> plane) & 1
+        return out[:n_bits]
+
+    @staticmethod
+    def bit_error_rate(sent: np.ndarray, received: np.ndarray) -> float:
+        """Fraction of mismatched bits (0.5 = chance for random data)."""
+        sent = np.asarray(sent, dtype=bool).ravel()
+        received = np.asarray(received, dtype=bool).ravel()
+        if sent.size != received.size:
+            raise ValueError(f"length mismatch: {sent.size} vs {received.size}")
+        if sent.size == 0:
+            raise ValueError("empty bit vectors")
+        return float(np.mean(sent != received))

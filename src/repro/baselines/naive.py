@@ -1,0 +1,119 @@
+"""The paper's Figure 3 naive designs.
+
+Before arriving at complementary frames, the authors tried inserting raw
+data frames directly into the refresh sequence:
+
+* ``AGGRESSIVE`` (Fig. 3c) -- ``V D1 D2 D3``: three distinct data frames
+  after each video frame;
+* ``INTERLEAVED`` (Fig. 3d) -- ``V D V D``: video and data alternate;
+* ``RATIO_2_2`` -- ``V V D D``;
+* ``RATIO_3_1`` -- ``V V V D``.
+
+All failed with "severe flickers ... because the average of sequential
+data frames did not match that of original video frames".  The streams
+built here feed the HVS model to regenerate that comparison.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.core.config import InFrameConfig
+from repro.core.geometry import FrameGeometry
+from repro.core.multiplexer import DataFrameSchedule
+from repro.video.source import VideoSource
+
+
+class NaiveDesign(Enum):
+    """The frame-insertion patterns of the paper's Figure 3."""
+
+    AGGRESSIVE = "V D1 D2 D3"
+    INTERLEAVED = "V D V D"
+    RATIO_2_2 = "V V D D"
+    RATIO_3_1 = "V V V D"
+
+    @property
+    def pattern(self) -> str:
+        """Slot pattern over one video-frame period: 'V' or 'D' per refresh."""
+        return {
+            NaiveDesign.AGGRESSIVE: "VDDD",
+            NaiveDesign.INTERLEAVED: "VDVD",
+            NaiveDesign.RATIO_2_2: "VVDD",
+            NaiveDesign.RATIO_3_1: "VVVD",
+        }[self]
+
+    @property
+    def data_slots_per_period(self) -> int:
+        """Data frames shown per video-frame period."""
+        return self.pattern.count("D")
+
+
+class NaiveScheme:
+    """A naive multiplexed stream (implements the FrameSource protocol).
+
+    Data frames are rendered as semi-transparent barcode overlays: Block
+    (r, c) of the data grid is set to ``video +/- amplitude`` depending on
+    its bit, with no complementarity -- exactly the "dynamic
+    semi-transparent data blocks" the paper's user study saw.
+
+    Parameters
+    ----------
+    config:
+        Reused for the Block grid geometry and amplitude.
+    video:
+        The primary content.
+    schedule:
+        Bit supplier; each displayed data slot consumes a new data frame.
+    design:
+        Which Figure 3 insertion pattern to build.
+    """
+
+    def __init__(
+        self,
+        config: InFrameConfig,
+        video: VideoSource,
+        schedule: DataFrameSchedule,
+        design: NaiveDesign = NaiveDesign.INTERLEAVED,
+    ) -> None:
+        self.config = config
+        self.video = video
+        self.schedule = schedule
+        self.design = design
+        self.geometry = FrameGeometry(config, video.height, video.width)
+        self._pattern = design.pattern
+        duplication = config.frame_duplication
+        if duplication != len(self._pattern):
+            raise ValueError(
+                f"naive designs assume refresh/fps == {len(self._pattern)} slots, "
+                f"got {duplication}"
+            )
+        self._n_frames = video.n_frames * duplication
+
+    @property
+    def n_frames(self) -> int:
+        """Display frames in the stream."""
+        return self._n_frames
+
+    def frame(self, index: int) -> np.ndarray:
+        """Render displayed frame *index*."""
+        if not (0 <= index < self._n_frames):
+            raise IndexError(f"frame index {index} outside [0, {self._n_frames})")
+        period = len(self._pattern)
+        video_index, slot = divmod(index, period)
+        video_frame = self.video.frame(video_index)
+        if self._pattern[slot] == "V":
+            return video_frame
+        data_index = self._data_index(video_index, slot)
+        bits = np.asarray(self.schedule.bits(data_index), dtype=bool)
+        signed = np.where(bits, 1.0, -1.0).astype(np.float32)
+        field = self.geometry.expand_block_grid(signed)
+        return np.clip(
+            video_frame + np.float32(self.config.amplitude) * field, 0.0, 255.0
+        ).astype(np.float32)
+
+    def _data_index(self, video_index: int, slot: int) -> int:
+        """Sequential index of the data frame shown in this slot."""
+        slots_before = self._pattern[:slot].count("D")
+        return video_index * self.design.data_slots_per_period + slots_before

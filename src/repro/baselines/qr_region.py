@@ -1,0 +1,160 @@
+"""The visible dynamic-barcode region baseline.
+
+This is the practice InFrame's introduction argues against: reserve a
+corner of the display for a black-and-white dynamic barcode and refresh it
+once per video frame.  The user loses that screen area (the "contention"
+the paper names); the device gets an easy high-contrast signal.
+
+The implementation reuses the screen->camera substrates end to end, so the
+comparison with InFrame is apples-to-apples: same panel, same camera, same
+decoder philosophy (threshold block intensities), different use of the
+display surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_fraction, check_positive_int
+from repro.camera.capture import CapturedFrame
+from repro.video.source import VideoSource
+
+
+@dataclass(frozen=True)
+class QRRegionLayout:
+    """Placement and structure of the barcode region.
+
+    Attributes
+    ----------
+    area_fraction:
+        Fraction of the display area the barcode occupies (bottom-right
+        square); the paper notes real QR codes "only take a small area".
+    cells:
+        Barcode side length in cells; each cell carries one bit.
+    refresh_divider:
+        Barcode changes every ``refresh_divider`` video frames (dynamic
+        barcodes are limited by capture rate, typically 10-15 Hz).
+    """
+
+    area_fraction: float = 0.1
+    cells: int = 30
+    refresh_divider: int = 2
+
+    def __post_init__(self) -> None:
+        check_fraction(self.area_fraction, "area_fraction")
+        check_positive_int(self.cells, "cells")
+        check_positive_int(self.refresh_divider, "refresh_divider")
+
+
+class QRRegionScheme:
+    """Video with a visible dynamic barcode region (FrameSource protocol).
+
+    Parameters
+    ----------
+    video:
+        The primary content (gets partially covered).
+    layout:
+        Barcode geometry and refresh policy.
+    refresh_per_video_frame:
+        Display refreshes per video frame (4 on the paper's setup).
+    seed:
+        Barcode payload generator seed.
+    """
+
+    def __init__(
+        self,
+        video: VideoSource,
+        layout: QRRegionLayout | None = None,
+        refresh_per_video_frame: int = 4,
+        seed: int = 99,
+    ) -> None:
+        self.video = video
+        self.layout = layout if layout is not None else QRRegionLayout()
+        self.refresh_per_video_frame = check_positive_int(
+            refresh_per_video_frame, "refresh_per_video_frame"
+        )
+        self.seed = int(seed)
+        side = int(np.sqrt(self.layout.area_fraction * video.height * video.width))
+        side = max(side, self.layout.cells)
+        self.region_side = min(side, video.height, video.width)
+        self.cell_px = max(self.region_side // self.layout.cells, 1)
+        self.region_side = self.cell_px * self.layout.cells
+        self._n_frames = video.n_frames * self.refresh_per_video_frame
+
+    # ------------------------------------------------------------------
+    # FrameSource protocol
+    # ------------------------------------------------------------------
+    @property
+    def n_frames(self) -> int:
+        """Display frames in the stream."""
+        return self._n_frames
+
+    def frame(self, index: int) -> np.ndarray:
+        """Video frame with the current barcode composited bottom-right."""
+        if not (0 <= index < self._n_frames):
+            raise IndexError(f"frame index {index} outside [0, {self._n_frames})")
+        video_frame = self.video.frame(index // self.refresh_per_video_frame).copy()
+        code = self.barcode(self.barcode_index(index))
+        field = np.kron(code.astype(np.float32) * 255.0, np.ones((self.cell_px, self.cell_px), np.float32))
+        video_frame[-self.region_side :, -self.region_side :] = field
+        return video_frame
+
+    # ------------------------------------------------------------------
+    # Payload
+    # ------------------------------------------------------------------
+    def barcode_index(self, display_index: int) -> int:
+        """Which barcode is on screen at the given display frame."""
+        video_index = display_index // self.refresh_per_video_frame
+        return video_index // self.layout.refresh_divider
+
+    def barcode(self, barcode_index: int) -> np.ndarray:
+        """The bit matrix of barcode *barcode_index* (bool, cells x cells)."""
+        rng = np.random.default_rng((self.seed, barcode_index))
+        return rng.random((self.layout.cells, self.layout.cells)) < 0.5
+
+    @property
+    def bits_per_barcode(self) -> int:
+        """Raw bits carried per barcode."""
+        return self.layout.cells**2
+
+    def raw_bit_rate_bps(self, video_fps: float = 30.0) -> float:
+        """Raw data rate of the visible barcode channel."""
+        barcodes_per_second = video_fps / self.layout.refresh_divider
+        return self.bits_per_barcode * barcodes_per_second
+
+    def occluded_fraction(self) -> float:
+        """Fraction of display pixels the user loses to the barcode."""
+        return (self.region_side**2) / (self.video.height * self.video.width)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode_capture(self, capture: CapturedFrame, camera_shape: tuple[int, int]) -> np.ndarray:
+        """Recover the barcode bits from one captured frame.
+
+        Cells are averaged in camera coordinates and thresholded at the
+        region's median -- visible black/white cells need nothing fancier.
+        """
+        cam_h, cam_w = camera_shape
+        sy = cam_h / self.video.height
+        sx = cam_w / self.video.width
+        top = (self.video.height - self.region_side) * sy
+        left = (self.video.width - self.region_side) * sx
+        cell_h = self.cell_px * sy
+        cell_w = self.cell_px * sx
+        if cell_h < 2 or cell_w < 2:
+            raise ValueError("captured barcode region too small to decode")
+        cells = self.layout.cells
+        means = np.empty((cells, cells))
+        for i in range(cells):
+            for j in range(cells):
+                # Sample each cell's core individually so sub-pixel scale
+                # error cannot accumulate across the code.
+                r0 = int(round(top + (i + 0.25) * cell_h))
+                r1 = max(int(round(top + (i + 0.75) * cell_h)), r0 + 1)
+                c0 = int(round(left + (j + 0.25) * cell_w))
+                c1 = max(int(round(left + (j + 0.75) * cell_w)), c0 + 1)
+                means[i, j] = capture.pixels[r0 : min(r1, cam_h), c0 : min(c1, cam_w)].mean()
+        return means > np.median(means)

@@ -1,0 +1,219 @@
+"""Perspective capture geometry.
+
+The paper's experiments capture fronto-parallel from 50 cm and leave
+"multiplex ... on any display" / capture-in-the-wild questions as
+practical issues.  This module supplies the projective machinery for the
+off-axis case:
+
+* :func:`homography_from_points` -- the 3x3 projective map from four
+  point correspondences (direct linear transform);
+* :func:`warp_image` / :func:`warp_labels` -- inverse-mapped resampling of
+  content and of Block label maps;
+* :class:`PerspectiveView` -- where the display's quad lands in the
+  capture, either fronto-parallel (the paper's setup) or from a pinhole
+  camera looking at a tilted screen.
+
+The receiver is assumed to know the quad (one-time corner calibration, as
+screen-camera apps do with alignment UIs); estimating the quad from
+content is future work, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro._util import check_in_range, check_positive
+
+
+def homography_from_points(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """The 3x3 homography H with ``dst ~ H @ src`` for four correspondences.
+
+    Points are ``(x, y)`` rows; the result is normalised to ``H[2,2] = 1``.
+    """
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    if src.shape != (4, 2) or dst.shape != (4, 2):
+        raise ValueError(f"need four (x, y) points each, got {src.shape} and {dst.shape}")
+    rows = []
+    rhs = []
+    for (x, y), (u, v) in zip(src, dst):
+        rows.append([x, y, 1, 0, 0, 0, -u * x, -u * y])
+        rhs.append(u)
+        rows.append([0, 0, 0, x, y, 1, -v * x, -v * y])
+        rhs.append(v)
+    try:
+        solution = np.linalg.solve(np.asarray(rows), np.asarray(rhs))
+    except np.linalg.LinAlgError as exc:
+        raise ValueError(f"degenerate correspondences: {exc}") from exc
+    return np.append(solution, 1.0).reshape(3, 3)
+
+
+def apply_homography(h_matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Map ``(n, 2)`` points through a homography (projective divide)."""
+    pts = np.asarray(points, dtype=np.float64)
+    homogeneous = np.column_stack([pts, np.ones(len(pts))])
+    mapped = homogeneous @ np.asarray(h_matrix, dtype=np.float64).T
+    return mapped[:, :2] / mapped[:, 2:3]
+
+
+def _inverse_sample_coords(
+    h_matrix: np.ndarray, out_shape: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Source (row, col) coordinates for every output pixel under H^-1."""
+    out_h, out_w = out_shape
+    inverse = np.linalg.inv(np.asarray(h_matrix, dtype=np.float64))
+    ys, xs = np.mgrid[0:out_h, 0:out_w]
+    homogeneous = np.stack([xs.ravel(), ys.ravel(), np.ones(out_h * out_w)])
+    mapped = inverse @ homogeneous
+    src_x = (mapped[0] / mapped[2]).reshape(out_h, out_w)
+    src_y = (mapped[1] / mapped[2]).reshape(out_h, out_w)
+    return src_y, src_x
+
+
+def warp_image(
+    image: np.ndarray,
+    h_matrix: np.ndarray,
+    out_shape: tuple[int, int],
+    background: float = 0.0,
+) -> np.ndarray:
+    """Projectively warp *image* (display space) into *out_shape* (camera).
+
+    ``h_matrix`` maps display ``(x, y)`` to camera ``(x, y)``; pixels that
+    fall outside the source are filled with *background*.
+    """
+    src_y, src_x = _inverse_sample_coords(h_matrix, out_shape)
+    warped = ndimage.map_coordinates(
+        np.asarray(image, dtype=np.float32),
+        [src_y, src_x],
+        order=1,
+        mode="constant",
+        cval=np.float32(background),
+    )
+    return warped.astype(np.float32)
+
+
+def warp_labels(
+    labels: np.ndarray, h_matrix: np.ndarray, out_shape: tuple[int, int]
+) -> np.ndarray:
+    """Warp an integer label map (nearest neighbour, -1 outside)."""
+    src_y, src_x = _inverse_sample_coords(h_matrix, out_shape)
+    warped = ndimage.map_coordinates(
+        np.asarray(labels, dtype=np.float64),
+        [src_y, src_x],
+        order=0,
+        mode="constant",
+        cval=-1.0,
+    )
+    return warped.astype(np.int32)
+
+
+@dataclass(frozen=True)
+class PerspectiveView:
+    """Where the display's corners land in the capture.
+
+    ``corners`` are camera ``(x, y)`` positions of the display's
+    top-left, top-right, bottom-right, bottom-left corners, in that order.
+    """
+
+    corners: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.corners) != 4:
+            raise ValueError(f"need 4 corners, got {len(self.corners)}")
+
+    @staticmethod
+    def fronto_parallel(
+        camera_height: int, camera_width: int, fill: float = 1.0
+    ) -> "PerspectiveView":
+        """The paper's centred straight-on view."""
+        check_in_range(fill, "fill", 0.05, 1.0)
+        height = camera_height * fill
+        width = camera_width * fill
+        top = (camera_height - height) / 2.0
+        left = (camera_width - width) / 2.0
+        return PerspectiveView(
+            corners=(
+                (left, top),
+                (left + width, top),
+                (left + width, top + height),
+                (left, top + height),
+            )
+        )
+
+    @staticmethod
+    def tilted(
+        camera_height: int,
+        camera_width: int,
+        yaw_deg: float = 0.0,
+        pitch_deg: float = 0.0,
+        fill: float = 0.85,
+        distance_factor: float = 2.0,
+    ) -> "PerspectiveView":
+        """A pinhole camera looking at a screen rotated off-axis.
+
+        The screen (aspect matching the capture) is rotated by *yaw_deg*
+        about its vertical axis and *pitch_deg* about its horizontal axis,
+        placed *distance_factor* screen-widths from the pinhole, and
+        projected.  ``fill`` sets the on-axis apparent size.
+        """
+        check_in_range(yaw_deg, "yaw_deg", -75.0, 75.0)
+        check_in_range(pitch_deg, "pitch_deg", -75.0, 75.0)
+        check_in_range(fill, "fill", 0.05, 1.0)
+        check_positive(distance_factor, "distance_factor")
+        # Screen corners in its own plane (x right, y down), half-extents 0.5*aspect.
+        aspect = camera_width / camera_height
+        half_w, half_h = aspect / 2.0, 0.5
+        corners3d = np.array(
+            [
+                [-half_w, -half_h, 0.0],
+                [half_w, -half_h, 0.0],
+                [half_w, half_h, 0.0],
+                [-half_w, half_h, 0.0],
+            ]
+        )
+        yaw = np.deg2rad(yaw_deg)
+        pitch = np.deg2rad(pitch_deg)
+        rot_yaw = np.array(
+            [
+                [np.cos(yaw), 0.0, np.sin(yaw)],
+                [0.0, 1.0, 0.0],
+                [-np.sin(yaw), 0.0, np.cos(yaw)],
+            ]
+        )
+        rot_pitch = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.0, np.cos(pitch), -np.sin(pitch)],
+                [0.0, np.sin(pitch), np.cos(pitch)],
+            ]
+        )
+        rotated = corners3d @ (rot_pitch @ rot_yaw).T
+        rotated[:, 2] += distance_factor * aspect  # push away from the pinhole
+        # Pinhole projection; focal length chosen so fill holds on-axis.
+        focal = fill * camera_height * distance_factor * aspect
+        projected_x = focal * rotated[:, 0] / rotated[:, 2] + camera_width / 2.0
+        projected_y = focal * rotated[:, 1] / rotated[:, 2] + camera_height / 2.0
+        return PerspectiveView(
+            corners=tuple((float(x), float(y)) for x, y in zip(projected_x, projected_y))
+        )
+
+    def homography(self, display_height: int, display_width: int) -> np.ndarray:
+        """Display-pixel ``(x, y)`` to camera-pixel ``(x, y)`` homography."""
+        src = np.array(
+            [
+                [0.0, 0.0],
+                [display_width - 1.0, 0.0],
+                [display_width - 1.0, display_height - 1.0],
+                [0.0, display_height - 1.0],
+            ]
+        )
+        dst = np.asarray(self.corners, dtype=np.float64)
+        return homography_from_points(src, dst)
+
+    def vertical_span(self) -> tuple[float, float]:
+        """Camera rows covered by the quad (for rolling-shutter mapping)."""
+        ys = [corner[1] for corner in self.corners]
+        return (min(ys), max(ys))

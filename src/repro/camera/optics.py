@@ -1,0 +1,52 @@
+"""Lens model: point-spread blur and vignetting.
+
+The PSF is modelled as an isotropic Gaussian whose sigma is expressed in
+*display* pixels, because what matters for decoding is how much of a
+chessboard cell (``p`` display pixels on a side) the lens smears together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro._util import check_in_range
+
+
+@dataclass(frozen=True)
+class OpticsModel:
+    """Lens behaviour between the panel surface and the sensor.
+
+    Attributes
+    ----------
+    blur_sigma_px:
+        Gaussian PSF standard deviation in display pixels.  0 disables blur.
+    vignetting:
+        Relative luminance falloff at the image corner (0 = none,
+        0.2 = corners receive 80% of the centre).
+    """
+
+    blur_sigma_px: float = 0.5
+    vignetting: float = 0.08
+
+    def __post_init__(self) -> None:
+        check_in_range(self.blur_sigma_px, "blur_sigma_px", 0.0, 50.0)
+        check_in_range(self.vignetting, "vignetting", 0.0, 0.95)
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        """Apply PSF blur and vignetting to a linear-luminance image."""
+        out = np.asarray(image, dtype=np.float32)
+        if self.blur_sigma_px > 0.0:
+            out = ndimage.gaussian_filter(out, sigma=self.blur_sigma_px, mode="nearest")
+        if self.vignetting > 0.0:
+            out = out * self._vignette_mask(out.shape)
+        return out.astype(np.float32)
+
+    def _vignette_mask(self, shape: tuple[int, ...]) -> np.ndarray:
+        height, width = shape[:2]
+        rows = np.linspace(-1.0, 1.0, height, dtype=np.float32)[:, None]
+        cols = np.linspace(-1.0, 1.0, width, dtype=np.float32)[None, :]
+        radius2 = (rows**2 + cols**2) / 2.0  # 1.0 at the corners
+        return (1.0 - np.float32(self.vignetting) * radius2).astype(np.float32)

@@ -1,0 +1,12 @@
+"""Screen->camera channel composition.
+
+Glue between the display and camera substrates: a configured
+:class:`ScreenCameraLink` bundles a panel, a camera, and environment
+impairments (ambient light, extra sensor noise) and runs capture loops for
+the experiment harness.
+"""
+
+from repro.channel.impairments import AmbientLight, ChannelImpairments
+from repro.channel.link import LinkBudget, ScreenCameraLink
+
+__all__ = ["ScreenCameraLink", "LinkBudget", "AmbientLight", "ChannelImpairments"]

@@ -1,0 +1,69 @@
+"""Environment impairments on the screen->camera channel.
+
+The paper's experiments run "in typical indoor office settings at the
+capture distance of 50cm".  Office ambient light reflects off the panel
+and adds a luminance pedestal, which costs modulation *contrast* at the
+camera; this module models that pedestal plus an optional additive
+Gaussian disturbance (electrical interference, compression artifacts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_in_range
+
+
+@dataclass(frozen=True)
+class AmbientLight:
+    """Ambient illumination reflecting off the display surface.
+
+    Attributes
+    ----------
+    illuminance_lux:
+        Ambient illuminance hitting the panel (office ~300-500 lux).
+    panel_reflectance:
+        Fraction of incident light the panel's front surface re-emits
+        diffusely (matte panels ~0.02-0.06).
+    """
+
+    illuminance_lux: float = 400.0
+    panel_reflectance: float = 0.04
+
+    def __post_init__(self) -> None:
+        check_in_range(self.illuminance_lux, "illuminance_lux", 0.0, 2.0e5)
+        check_in_range(self.panel_reflectance, "panel_reflectance", 0.0, 1.0)
+
+    @property
+    def reflected_luminance(self) -> float:
+        """Reflected luminance pedestal in cd/m^2 (lux / pi * reflectance)."""
+        return self.illuminance_lux * self.panel_reflectance / np.pi
+
+
+@dataclass(frozen=True)
+class ChannelImpairments:
+    """Everything the environment adds between panel and sensor."""
+
+    ambient: AmbientLight = AmbientLight()
+    extra_noise_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.extra_noise_std, "extra_noise_std", 0.0, 64.0)
+
+    def apply_luminance(self, luminance: np.ndarray) -> np.ndarray:
+        """Add the ambient pedestal to an emitted-luminance field."""
+        pedestal = np.float32(self.ambient.reflected_luminance)
+        if pedestal == 0.0:
+            return luminance
+        return (luminance + pedestal).astype(np.float32)
+
+    def apply_capture(
+        self, pixels: np.ndarray, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        """Add post-sensor disturbance to a captured frame."""
+        if self.extra_noise_std <= 0.0 or rng is None:
+            return pixels
+        noise = rng.normal(0.0, self.extra_noise_std, size=pixels.shape)
+        return np.clip(pixels + noise, 0.0, 255.0).astype(np.float32)

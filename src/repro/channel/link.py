@@ -1,0 +1,184 @@
+"""The configured screen->camera link.
+
+:class:`ScreenCameraLink` is the channel object experiments hold on to: a
+panel, a camera, environment impairments, and the capture loop that feeds
+the decoder.  :class:`LinkBudget` summarises the channel's small-signal
+quality the way an RF engineer would -- how many capture counts one unit
+of chessboard amplitude is worth, and how that compares to the sensor
+noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.camera.capture import CameraModel, CapturedFrame
+from repro.channel.impairments import ChannelImpairments
+from repro.display.panel import DisplayPanel
+from repro.display.scheduler import DisplayTimeline, FrameSource
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Small-signal quality summary of a screen->camera link.
+
+    Attributes
+    ----------
+    counts_per_delta:
+        Capture counts produced by one pixel-value unit of chessboard
+        amplitude at the operating point (before spatial filtering).
+    noise_floor_counts:
+        RMS capture noise in counts at the operating point.
+    snr_at_delta_20:
+        Amplitude SNR for the paper's delta = 20 setting.
+    ambient_contrast_loss:
+        Fractional contrast lost to the ambient-light pedestal.
+    """
+
+    counts_per_delta: float
+    noise_floor_counts: float
+    snr_at_delta_20: float
+    ambient_contrast_loss: float
+
+
+class ScreenCameraLink:
+    """A display panel watched by a camera in a given environment.
+
+    Parameters
+    ----------
+    panel:
+        The transmitting display.
+    camera:
+        The receiving camera; if its sensor has not been calibrated, use
+        :meth:`auto_exposed` to match it to the panel.
+    impairments:
+        Ambient light and extra capture noise.
+    """
+
+    def __init__(
+        self,
+        panel: DisplayPanel,
+        camera: CameraModel,
+        impairments: ChannelImpairments | None = None,
+    ) -> None:
+        self.panel = panel
+        self.camera = camera
+        self.impairments = impairments if impairments is not None else ChannelImpairments()
+
+    def auto_exposed(self) -> "ScreenCameraLink":
+        """A copy whose camera is auto-exposed for this panel + ambient."""
+        peak = (
+            self.panel.gamma_curve.peak_luminance * self.panel.brightness
+            + self.impairments.ambient.reflected_luminance
+        )
+        return ScreenCameraLink(
+            self.panel, self.camera.auto_exposed(peak), self.impairments
+        )
+
+    # ------------------------------------------------------------------
+    # Capture loop
+    # ------------------------------------------------------------------
+    def timeline(self, source: FrameSource) -> DisplayTimeline:
+        """Play *source* on this link's panel."""
+        return DisplayTimeline(self.panel, source)
+
+    def capture(
+        self,
+        timeline: DisplayTimeline,
+        n_frames: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[CapturedFrame]:
+        """Capture the timeline with ambient light and impairments applied."""
+        if n_frames is None:
+            n_frames = self.camera.frames_covering(timeline)
+        if n_frames < 1:
+            raise ValueError("stream too short for even one camera frame")
+        pedestal = self.impairments.ambient.reflected_luminance
+        if pedestal > 0.0:
+            timeline = _PedestalTimeline(timeline, pedestal)
+        captures = self.camera.capture_sequence(timeline, n_frames, rng=rng)
+        if self.impairments.extra_noise_std > 0.0:
+            captures = [
+                replace(c, pixels=self.impairments.apply_capture(c.pixels, rng))
+                for c in captures
+            ]
+        return captures
+
+    # ------------------------------------------------------------------
+    # Link budget
+    # ------------------------------------------------------------------
+    def budget(self, operating_pixel_value: float = 127.0) -> LinkBudget:
+        """Small-signal link budget at the given video operating point."""
+        check_positive(operating_pixel_value, "operating_pixel_value")
+        curve = self.panel.gamma_curve
+        pedestal = self.impairments.ambient.reflected_luminance
+        base_lum = float(curve.to_luminance(operating_pixel_value)) * self.panel.brightness
+        slope = float(curve.local_slope(operating_pixel_value)) * self.panel.brightness
+
+        sensor = self.camera.sensor
+        exposure = self.camera.exposure_s
+        scene = base_lum + pedestal
+
+        def capture_level(lum: float) -> float:
+            electrons = lum * sensor.sensitivity * exposure
+            normalized = min(max(electrons / sensor.full_well, 0.0), 1.0)
+            return 255.0 * normalized**sensor.response_gamma
+
+        level = capture_level(scene)
+        counts_per_delta = capture_level(scene + slope) - level
+
+        electrons = scene * sensor.sensitivity * exposure
+        shot = np.sqrt(max(electrons, 0.0))
+        total_e = float(np.hypot(shot, sensor.read_noise_electrons))
+        # Convert electron noise to counts via the response slope.
+        d_counts_d_e = (
+            255.0
+            * sensor.response_gamma
+            * (electrons / sensor.full_well) ** (sensor.response_gamma - 1.0)
+            / sensor.full_well
+            if 0 < electrons < sensor.full_well
+            else 0.0
+        )
+        noise_counts = float(
+            np.hypot(total_e * d_counts_d_e, self.impairments.extra_noise_std)
+        )
+        quantization = 1.0 / np.sqrt(12.0)
+        noise_counts = float(np.hypot(noise_counts, quantization))
+
+        snr20 = 20.0 * counts_per_delta / noise_counts if noise_counts > 0 else float("inf")
+        contrast_loss = pedestal / scene if scene > 0 else 0.0
+        return LinkBudget(
+            counts_per_delta=float(counts_per_delta),
+            noise_floor_counts=noise_counts,
+            snr_at_delta_20=float(snr20),
+            ambient_contrast_loss=float(contrast_loss),
+        )
+
+
+class _PedestalTimeline:
+    """A DisplayTimeline view with an ambient luminance pedestal added."""
+
+    def __init__(self, inner: DisplayTimeline, pedestal: float) -> None:
+        self._inner = inner
+        self._pedestal = np.float32(pedestal)
+        self.panel = inner.panel
+
+    @property
+    def n_frames(self) -> int:
+        return self._inner.n_frames
+
+    @property
+    def duration_s(self) -> float:
+        return self._inner.duration_s
+
+    def frame_average_luminance(self, index: int) -> np.ndarray:
+        return self._inner.frame_average_luminance(index) + self._pedestal
+
+    def luminance_at(self, t: float, rect=None) -> np.ndarray:
+        return self._inner.luminance_at(t, rect) + self._pedestal
+
+    def integrate(self, t0: float, t1: float, rect=None) -> np.ndarray:
+        return self._inner.integrate(t0, t1, rect) + self._pedestal

@@ -1,0 +1,59 @@
+"""InFrame itself: the paper's primary contribution.
+
+The public surface:
+
+* :class:`~repro.core.config.InFrameConfig` -- every tunable the paper
+  names (p, s, m, delta, tau, waveform, threshold, clock rates);
+* :class:`~repro.core.multiplexer.MultiplexedStream` -- the sender side:
+  video + data -> complementary 120 Hz display stream;
+* :class:`~repro.core.decoder.InFrameDecoder` -- the receiver side:
+  captured frames -> induced-noise maps -> bits -> GOBs;
+* :mod:`~repro.core.framing` -- payload bytes <-> data-frame bit grids,
+  with CRC + Reed-Solomon + interleaving on top of the GOB parity;
+* :class:`~repro.core.pipeline.InFrameSender` /
+  :class:`~repro.core.pipeline.InFrameReceiver` -- the end-to-end API;
+* :mod:`~repro.core.metrics` -- the quantities Figure 7 reports.
+"""
+
+from repro.core.config import InFrameConfig
+from repro.core.decoder import BlockObservation, DecodedDataFrame, InFrameDecoder
+from repro.core.encoder import DataFrameEncoder
+from repro.core.framing import (
+    FrameFormatError,
+    PayloadSchedule,
+    PseudoRandomSchedule,
+    ZeroSchedule,
+)
+from repro.core.geometry import FrameGeometry
+from repro.core.metrics import LinkStats, compare_bits, summarize_link
+from repro.core.multiplexer import MultiplexedStream
+from repro.core.parity import apply_parity_grid, check_parity_grid
+from repro.core.patterns import pattern_field
+from repro.core.pipeline import InFrameReceiver, InFrameSender, run_link
+from repro.core.smoothing import SmoothingWaveform, envelope_pair, transition_profile
+
+__all__ = [
+    "InFrameConfig",
+    "FrameGeometry",
+    "DataFrameEncoder",
+    "MultiplexedStream",
+    "InFrameDecoder",
+    "BlockObservation",
+    "DecodedDataFrame",
+    "PayloadSchedule",
+    "PseudoRandomSchedule",
+    "ZeroSchedule",
+    "FrameFormatError",
+    "LinkStats",
+    "compare_bits",
+    "summarize_link",
+    "apply_parity_grid",
+    "check_parity_grid",
+    "pattern_field",
+    "SmoothingWaveform",
+    "envelope_pair",
+    "transition_profile",
+    "InFrameSender",
+    "InFrameReceiver",
+    "run_link",
+]

@@ -1,0 +1,199 @@
+"""InFrame configuration.
+
+One dataclass holds every tunable the paper introduces, with the paper's
+prototype values as defaults:
+
+* ``element_pixels`` (p): side of a super Pixel in device pixels; p = 4 is
+  the paper's choice for 1920x1080 at typical viewing distance.
+* ``pixels_per_block`` (s): side of a coding Block in super Pixels; one
+  Block carries one bit.
+* ``gob_size`` (m): side of a Group of Blocks in Blocks; the prototype uses
+  2x2 GOBs with the fourth Block as XOR parity.
+* ``block_rows`` x ``block_cols``: the data-frame grid; the paper uses
+  30x50 Blocks grouped into 15x25 GOBs.
+* ``amplitude`` (delta): chessboard amplitude in pixel-value units.
+* ``tau``: data-frame cycle length, counted in *displayed frames* (tau/2
+  complementary iterations).  The paper's throughput numbers are mutually
+  consistent under this reading (see DESIGN.md).
+* ``waveform``: the transition envelope -- the paper picked half a
+  square-root raised cosine over linear and stair alternatives.
+
+Two extension flags go beyond the paper (both default off):
+
+* ``gamma_compensation`` -- shift each modulated pair so complementarity
+  holds in *luminance* rather than pixel values, removing the static
+  gamma-convexity brightening of 1-Blocks (see DESIGN.md);
+* ``adaptive_amplitude`` -- raise delta per Block up to
+  ``adaptive_amplitude_max`` where the content's own texture perceptually
+  masks the modulation, the Section 5 "increase the screen-camera channel
+  rate without interfering the primary screen-eye channel" direction.
+* ``gob_code`` -- ``"xor"`` is the prototype's parity; ``"hamming84"``
+  implements the paper's "more sophisticated error correction ... for
+  larger GOB" future work with 3x3 GOBs and SECDED correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro._util import check_in_range, check_positive, check_positive_int
+
+_WAVEFORMS = ("srrc", "linear", "stair")
+_PATTERNS = ("chessboard", "stripes", "random")
+
+
+@dataclass(frozen=True)
+class InFrameConfig:
+    """All InFrame parameters; defaults reproduce the paper's prototype."""
+
+    element_pixels: int = 4
+    pixels_per_block: int = 9
+    gob_size: int = 2
+    block_rows: int = 30
+    block_cols: int = 50
+    amplitude: float = 20.0
+    tau: int = 12
+    waveform: str = "srrc"
+    pattern: str = "chessboard"
+    refresh_hz: float = 120.0
+    video_fps: float = 30.0
+    threshold: float | None = None
+    decision_margin: float = 0.18
+    clip_mode: str = "pixel"
+    gamma_compensation: bool = False
+    adaptive_amplitude: bool = False
+    adaptive_amplitude_max: float = 45.0
+    gob_code: str = "xor"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.element_pixels, "element_pixels")
+        check_positive_int(self.pixels_per_block, "pixels_per_block")
+        check_positive_int(self.gob_size, "gob_size")
+        if self.gob_size < 2:
+            raise ValueError(f"gob_size must be >= 2 (one parity Block per GOB), got {self.gob_size}")
+        check_positive_int(self.block_rows, "block_rows")
+        check_positive_int(self.block_cols, "block_cols")
+        if self.block_rows % self.gob_size or self.block_cols % self.gob_size:
+            raise ValueError(
+                f"block grid {self.block_rows}x{self.block_cols} must tile into "
+                f"{self.gob_size}x{self.gob_size} GOBs"
+            )
+        check_in_range(self.amplitude, "amplitude", 0.0, 127.0)
+        check_positive_int(self.tau, "tau")
+        if self.tau % 2:
+            raise ValueError(f"tau must be even (whole complementary pairs), got {self.tau}")
+        if self.waveform not in _WAVEFORMS:
+            raise ValueError(f"waveform must be one of {_WAVEFORMS}, got {self.waveform!r}")
+        if self.pattern not in _PATTERNS:
+            raise ValueError(f"pattern must be one of {_PATTERNS}, got {self.pattern!r}")
+        check_positive(self.refresh_hz, "refresh_hz")
+        check_positive(self.video_fps, "video_fps")
+        duplication = self.refresh_hz / self.video_fps
+        if abs(duplication - round(duplication)) > 1e-9 or duplication < 1:
+            raise ValueError(
+                f"refresh_hz ({self.refresh_hz}) must be an integer multiple of "
+                f"video_fps ({self.video_fps})"
+            )
+        if self.threshold is not None:
+            check_positive(self.threshold, "threshold")
+        check_in_range(self.decision_margin, "decision_margin", 0.0, 1.0)
+        if self.clip_mode not in ("pixel", "block"):
+            raise ValueError(f"clip_mode must be 'pixel' or 'block', got {self.clip_mode!r}")
+        check_in_range(self.adaptive_amplitude_max, "adaptive_amplitude_max", 1.0, 127.0)
+        if self.gob_code not in ("xor", "hamming84"):
+            raise ValueError(f"gob_code must be 'xor' or 'hamming84', got {self.gob_code!r}")
+        if self.gob_code == "hamming84" and self.gob_size != 3:
+            raise ValueError(
+                "gob_code='hamming84' needs 3x3 GOBs (8 coded Blocks + 1 spare), "
+                f"got gob_size={self.gob_size}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def block_side_px(self) -> int:
+        """Side of one Block in device pixels (p * s)."""
+        return self.element_pixels * self.pixels_per_block
+
+    @property
+    def data_height_px(self) -> int:
+        """Height of the data area in device pixels."""
+        return self.block_rows * self.block_side_px
+
+    @property
+    def data_width_px(self) -> int:
+        """Width of the data area in device pixels."""
+        return self.block_cols * self.block_side_px
+
+    @property
+    def gob_rows(self) -> int:
+        """GOB grid rows."""
+        return self.block_rows // self.gob_size
+
+    @property
+    def gob_cols(self) -> int:
+        """GOB grid columns."""
+        return self.block_cols // self.gob_size
+
+    @property
+    def n_gobs(self) -> int:
+        """Total GOBs per data frame."""
+        return self.gob_rows * self.gob_cols
+
+    @property
+    def bits_per_gob(self) -> int:
+        """Data bits per GOB.
+
+        XOR parity (the paper's prototype): all Blocks minus one parity
+        Block.  Hamming(8,4) SECDED (the paper's larger-GOB future work):
+        4 data bits in a 3x3 GOB.
+        """
+        if self.gob_code == "hamming84":
+            return 4
+        return self.gob_size * self.gob_size - 1
+
+    @property
+    def bits_per_frame(self) -> int:
+        """Data bits per data frame (the paper's w/s/2 x h/s/2 x 3)."""
+        return self.n_gobs * self.bits_per_gob
+
+    @property
+    def frame_duplication(self) -> int:
+        """Displayed frames per content video frame."""
+        return int(round(self.refresh_hz / self.video_fps))
+
+    @property
+    def data_frame_rate_hz(self) -> float:
+        """Data frames per second (refresh / tau)."""
+        return self.refresh_hz / self.tau
+
+    @property
+    def raw_bit_rate_bps(self) -> float:
+        """Data bits per second before availability/error accounting."""
+        return self.bits_per_frame * self.data_frame_rate_hz
+
+    def display_frames_per_data_frame(self) -> int:
+        """Alias for tau with its unit spelled out."""
+        return self.tau
+
+    # ------------------------------------------------------------------
+    # Variants
+    # ------------------------------------------------------------------
+    def with_updates(self, **changes) -> "InFrameConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def scaled(self, factor: float) -> "InFrameConfig":
+        """A spatially scaled config for reduced-resolution experiments.
+
+        Keeps the Block *grid* (bits per frame, rates, GOB structure) and
+        the super-Pixel side ``p`` fixed -- ``p`` sets the pattern's
+        spatial frequency relative to the camera's sampling, which is what
+        the paper tuned to the eye/camera resolution -- and shrinks the
+        Block side ``s`` instead.  A scaled run therefore trades per-bit
+        spatial redundancy for speed while preserving the channel physics.
+        """
+        check_positive(factor, "factor")
+        s = max(2, int(round(self.pixels_per_block * factor)))
+        return self.with_updates(pixels_per_block=s)

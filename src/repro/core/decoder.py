@@ -1,0 +1,420 @@
+"""Demultiplexing and decoding (paper Section 3.3).
+
+The receiver works on induced noise: the chessboard is, by construction,
+high-spatial-frequency content the original video is unlikely to carry.
+Per captured frame and per Block:
+
+1. smooth the Block (3x3 box filter), subtract, take ``|difference|``;
+2. the Block's noise level is the mean ``|difference|`` over its core;
+3. remove the frame-level mean noise (texture correction, per the paper);
+4. threshold at ``T``: above = bit 1, below = bit 0.
+
+Captured frames are grouped by the data-frame cycle they observe and
+aggregated with weights from the smoothing envelope (captures taken during
+a transition carry less evidence).  A Block is *decoded* when its noise
+level sits decisively away from the threshold; a GOB is *available* when
+all of its Blocks are decoded, and *erroneous* when its XOR parity fails
+(paper Section 4's accounting).
+
+Decoder timing: experiments run with receiver-side knowledge of the
+display clock (the paper's prototype decodes captured sequences offline
+the same way).  :func:`estimate_cycle_phase` recovers the data-frame phase
+blindly from capture noise energies for the synchronisation ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro._util import check_positive_int
+from repro.camera.capture import CapturedFrame
+from repro.core.config import InFrameConfig
+from repro.core.geometry import FrameGeometry
+from repro.core.parity import decode_gob_grid
+from repro.core.smoothing import SmoothingWaveform
+
+
+@dataclass(frozen=True)
+class BlockObservation:
+    """Noise evidence extracted from one captured frame."""
+
+    data_frame_index: int
+    weight: float
+    contamination: float
+    noise_map: np.ndarray
+    capture_index: int
+
+
+@dataclass(frozen=True)
+class DecodedDataFrame:
+    """The receiver's verdict on one data frame."""
+
+    index: int
+    bits: np.ndarray
+    confident: np.ndarray
+    gob_available: np.ndarray
+    gob_parity_ok: np.ndarray
+    noise_map: np.ndarray
+    threshold: float
+    n_captures: int
+
+    @property
+    def available_ratio(self) -> float:
+        """Fraction of GOBs whose Blocks all decoded."""
+        return float(np.mean(self.gob_available))
+
+    @property
+    def parity_error_ratio(self) -> float:
+        """Fraction of *available* GOBs whose parity check fails."""
+        available = int(np.sum(self.gob_available))
+        if available == 0:
+            return 0.0
+        failures = int(np.sum(self.gob_available & ~self.gob_parity_ok))
+        return failures / available
+
+
+class InFrameDecoder:
+    """Recovers data frames from camera captures.
+
+    Parameters
+    ----------
+    config:
+        The sender's InFrame configuration (the receiver shares it, like a
+        channel profile).
+    geometry:
+        The sender-side frame geometry.
+    camera_height, camera_width:
+        Capture resolution, for the Block label map.
+    inset:
+        Fraction of each Block edge excluded from its noise statistic.
+    aggregation:
+        How evidence from the several captures of one data-frame cycle is
+        combined.  ``"max"`` (default) takes each Block's strongest noise
+        reading, which recovers Blocks that a rolling-shutter band
+        cancelled in *some* captures; ``"mean"`` is the stability-weighted
+        average (kept for the aggregation ablation).
+    clock_phase_s:
+        Offset between the captures' timestamps and the display's
+        data-frame clock (see :meth:`synchronized` for estimating it).
+    screen_rect:
+        Where the display sits in the capture when the camera is further
+        away than the paper's 50 cm setup (``CameraModel.screen_rect()``).
+    view:
+        Optional :class:`~repro.camera.geometry.PerspectiveView` for
+        off-axis capture; the Block label map is built by warping the
+        display-space map through the view's homography.
+    """
+
+    def __init__(
+        self,
+        config: InFrameConfig,
+        geometry: FrameGeometry,
+        camera_height: int,
+        camera_width: int,
+        inset: float = 0.2,
+        aggregation: str = "max",
+        clock_phase_s: float = 0.0,
+        screen_rect: tuple[int, int, int, int] | None = None,
+        view=None,
+    ) -> None:
+        if aggregation not in ("max", "mean"):
+            raise ValueError(f"aggregation must be 'max' or 'mean', got {aggregation!r}")
+        self.aggregation = aggregation
+        self.clock_phase_s = float(clock_phase_s)
+        check_positive_int(camera_height, "camera_height")
+        check_positive_int(camera_width, "camera_width")
+        self.config = config
+        self.geometry = geometry
+        self.camera_height = int(camera_height)
+        self.camera_width = int(camera_width)
+        self.inset = float(inset)
+        self.screen_rect = screen_rect
+        self.view = view
+        self.waveform = SmoothingWaveform(config.tau, config.waveform)
+        if view is not None:
+            from repro.camera.geometry import warp_labels
+
+            display_labels = geometry.display_block_index_map(inset)
+            h_matrix = view.homography(geometry.frame_height, geometry.frame_width)
+            self._labels = warp_labels(
+                display_labels, h_matrix, (camera_height, camera_width)
+            )
+        else:
+            self._labels = geometry.camera_block_index_maps(
+                camera_height, camera_width, inset, screen_rect
+            )
+        self._valid = self._labels >= 0
+        n_blocks = config.block_rows * config.block_cols
+        self._counts = np.bincount(self._labels[self._valid], minlength=n_blocks).astype(
+            np.float64
+        )
+        if np.any(self._counts == 0):
+            raise ValueError(
+                "some Blocks map to zero camera pixels; the capture resolution "
+                "is too low for this Block grid"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-capture processing
+    # ------------------------------------------------------------------
+    def block_noise_map(self, pixels: np.ndarray) -> np.ndarray:
+        """Texture-corrected induced-noise level of every Block.
+
+        Returns a ``(block_rows, block_cols)`` float map: mean
+        ``|pixels - smooth(pixels)|`` over each Block core, minus the
+        frame-level mean (the paper's high-texture correction).
+        """
+        img = np.asarray(pixels, dtype=np.float32)
+        if img.shape != (self.camera_height, self.camera_width):
+            raise ValueError(
+                f"capture shape {img.shape} does not match decoder "
+                f"({self.camera_height}, {self.camera_width})"
+            )
+        smooth = ndimage.uniform_filter(img, size=3, mode="nearest")
+        diff = np.abs(img - smooth)
+        sums = np.bincount(
+            self._labels[self._valid],
+            weights=diff[self._valid].astype(np.float64),
+            minlength=self._counts.size,
+        )
+        noise = (sums / self._counts).reshape(
+            self.config.block_rows, self.config.block_cols
+        )
+        return (noise - noise.mean()).astype(np.float64)
+
+    def observe(self, capture: CapturedFrame) -> BlockObservation:
+        """Extract evidence from one capture: noise map + cycle weighting.
+
+        A capture taken early in a cycle is clean evidence for the cycle's
+        own data frame.  Deep into the transition half the *incoming* data
+        frame's pattern dominates (Omega_01 near 1, Omega_10 near 0), so
+        such captures are assigned to the next data frame instead -- this
+        buys the aggregator roughly one extra usable capture per cycle.
+        """
+        local_time = capture.mid_exposure_s - self.clock_phase_s
+        display_index = int(np.floor(local_time * self.config.refresh_hz))
+        display_index = max(display_index, 0)
+        data_index, step = divmod(display_index, self.config.tau)
+        current_factor, next_factor = self.waveform.factors(step)
+        if next_factor > current_factor:
+            data_index += 1
+            weight, contamination = float(next_factor**2), float(current_factor)
+        else:
+            weight, contamination = float(current_factor**2), float(next_factor)
+        return BlockObservation(
+            data_frame_index=data_index,
+            weight=weight,
+            contamination=contamination,
+            noise_map=self.block_noise_map(capture.pixels),
+            capture_index=capture.index,
+        )
+
+    def synchronized(self, captures: list[CapturedFrame]) -> "InFrameDecoder":
+        """A copy whose data-frame clock is estimated blindly from *captures*.
+
+        When the receiver's timestamps are not on the display's clock (no
+        shared reference), :func:`estimate_cycle_phase` recovers the cycle
+        phase from the capture noise energies and this decoder variant
+        groups captures accordingly.
+        """
+        phase = estimate_cycle_phase(captures, self)
+        return InFrameDecoder(
+            self.config,
+            self.geometry,
+            self.camera_height,
+            self.camera_width,
+            inset=self.inset,
+            aggregation=self.aggregation,
+            clock_phase_s=self.clock_phase_s + phase,
+            screen_rect=self.screen_rect,
+            view=self.view,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation and decision
+    # ------------------------------------------------------------------
+    def decode(self, captures: list[CapturedFrame]) -> list[DecodedDataFrame]:
+        """Decode a capture sequence into per-data-frame verdicts.
+
+        Data frames observed by no capture (or only by zero-weight
+        transition captures) are skipped.
+        """
+        if not captures:
+            return []
+        grouped: dict[int, list[BlockObservation]] = {}
+        for capture in captures:
+            obs = self.observe(capture)
+            grouped.setdefault(obs.data_frame_index, []).append(obs)
+        decoded = []
+        for data_index in sorted(grouped):
+            frame = self._decide(data_index, grouped[data_index])
+            if frame is not None:
+                decoded.append(frame)
+        return decoded
+
+    def _decide(
+        self, data_index: int, observations: list[BlockObservation]
+    ) -> DecodedDataFrame | None:
+        total_weight = sum(obs.weight for obs in observations)
+        if total_weight <= 1e-9:
+            return None
+        if self.aggregation == "max":
+            # Use clean captures only: mid-transition the *other* data
+            # frame's Blocks leak spurious noise into this frame's
+            # 0-Blocks, and a max would keep every leak.  Fall back to the
+            # cleanest capture when the cycle was only seen mid-transition.
+            usable = [
+                obs
+                for obs in observations
+                if obs.weight >= 0.8 and obs.contamination <= 0.12
+            ]
+            if not usable:
+                usable = [min(observations, key=lambda obs: obs.contamination)]
+            noise = np.maximum.reduce([obs.noise_map for obs in usable])
+        else:
+            noise = sum(obs.weight * obs.noise_map for obs in observations) / total_weight
+        threshold, spread = self._threshold(noise)
+        raw_bits = noise > threshold
+        if spread <= 1e-9:
+            confident = np.zeros_like(raw_bits, dtype=bool)
+        else:
+            confident = np.abs(noise - threshold) >= self.config.decision_margin * spread
+        gob_available = self._gob_available(confident)
+        bits, parity_ok, _ = decode_gob_grid(raw_bits, self.config)
+        return DecodedDataFrame(
+            index=data_index,
+            bits=bits,
+            confident=confident,
+            gob_available=gob_available,
+            gob_parity_ok=parity_ok,
+            noise_map=noise,
+            threshold=threshold,
+            n_captures=len(observations),
+        )
+
+    def _threshold(self, noise: np.ndarray) -> tuple[float, float]:
+        """Decision threshold and cluster spread for a noise map."""
+        values = noise.ravel()
+        if self.config.threshold is not None:
+            threshold = float(self.config.threshold)
+        else:
+            threshold = two_means_threshold(values)
+        ones = values[values > threshold]
+        zeros = values[values <= threshold]
+        if ones.size == 0 or zeros.size == 0:
+            return threshold, 0.0
+        spread = float(ones.mean() - zeros.mean())
+        return threshold, max(spread, 0.0)
+
+    def _gob_available(self, confident: np.ndarray) -> np.ndarray:
+        """Per-GOB availability from the Block confidence mask.
+
+        XOR GOBs need every Block decoded (the paper's rule).  Hamming
+        GOBs tolerate one unconfident Block among the 8 coded ones -- the
+        SECDED correction covers it -- and ignore the spare 9th Block.
+        """
+        m = self.config.gob_size
+        tiled = confident.reshape(self.config.gob_rows, m, self.config.gob_cols, m)
+        if self.config.gob_code == "hamming84":
+            flat = tiled.transpose(0, 2, 1, 3).reshape(
+                self.config.gob_rows, self.config.gob_cols, m * m
+            )
+            unconfident_coded = (~flat[:, :, :8]).sum(axis=2)
+            return unconfident_coded <= 1
+        return tiled.all(axis=(1, 3))
+
+
+def two_means_threshold(values: np.ndarray, max_iterations: int = 50) -> float:
+    """Midpoint threshold from 1-D 2-means clustering.
+
+    The default when ``config.threshold`` is None.  More stable than Otsu
+    on the decoder's noise maps, whose two populations have very different
+    variances (tight 0-cluster, band-smeared 1-cluster): Lloyd iterations
+    converge to the cluster means and the cut sits at their midpoint.
+    """
+    samples = np.asarray(values, dtype=np.float64).ravel()
+    lo, hi = float(samples.min()), float(samples.max())
+    if hi - lo < 1e-12:
+        return lo
+    center0, center1 = np.percentile(samples, [20.0, 80.0])
+    if center1 - center0 < 1e-12:
+        return float((lo + hi) / 2.0)
+    for _ in range(max_iterations):
+        cut = (center0 + center1) / 2.0
+        low = samples[samples <= cut]
+        high = samples[samples > cut]
+        if low.size == 0 or high.size == 0:
+            break
+        new0, new1 = float(low.mean()), float(high.mean())
+        if abs(new0 - center0) < 1e-9 and abs(new1 - center1) < 1e-9:
+            center0, center1 = new0, new1
+            break
+        center0, center1 = new0, new1
+    return float((center0 + center1) / 2.0)
+
+
+def otsu_threshold(values: np.ndarray, bins: int = 128) -> float:
+    """Otsu's bimodal threshold over a 1-D sample.
+
+    Used when ``config.threshold`` is None: the pseudo-random data keeps
+    both bit populations present, so the noise histogram is bimodal and
+    the maximal between-class variance split recovers the paper's ``T``
+    without manual tuning.
+    """
+    samples = np.asarray(values, dtype=np.float64).ravel()
+    lo, hi = float(samples.min()), float(samples.max())
+    if hi - lo < 1e-12:
+        return lo
+    hist, edges = np.histogram(samples, bins=bins, range=(lo, hi))
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    weights = hist.astype(np.float64) / hist.sum()
+    cum_w = np.cumsum(weights)
+    cum_mean = np.cumsum(weights * centers)
+    total_mean = cum_mean[-1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        between = (total_mean * cum_w - cum_mean) ** 2 / (cum_w * (1.0 - cum_w))
+    # Splits that leave (almost) everything on one side are degenerate.
+    between[~np.isfinite(between)] = -1.0
+    between[(cum_w < 1e-3) | (cum_w > 1.0 - 1e-3)] = -1.0
+    # Well-separated clusters leave a plateau of equally good cuts across
+    # the empty gap; take its middle.
+    best = between.max()
+    plateau = np.flatnonzero(between >= best - 1e-12)
+    return float(centers[plateau[len(plateau) // 2]])
+
+
+def estimate_cycle_phase(
+    captures: list[CapturedFrame],
+    decoder: InFrameDecoder,
+) -> float:
+    """Blindly estimate the data-frame cycle phase from capture energies.
+
+    The total |noise| of a capture dips while the envelope transitions
+    (half the switching Blocks sit below full amplitude), so correlating
+    capture noise energy against the cycle period recovers the phase
+    without access to the display clock.  Returns the estimated phase
+    offset in seconds, in ``[0, tau / refresh_hz)``.
+    """
+    if len(captures) < 3:
+        raise ValueError("phase estimation needs at least 3 captures")
+    config = decoder.config
+    cycle_s = config.tau / config.refresh_hz
+    times = np.array([c.mid_exposure_s for c in captures])
+    energies = np.array(
+        [float(np.abs(decoder.block_noise_map(c.pixels)).mean()) for c in captures]
+    )
+    energies = energies - energies.mean()
+    phases = np.linspace(0.0, cycle_s, 48, endpoint=False)
+    scores = np.empty_like(phases)
+    for i, phi in enumerate(phases):
+        # Captures landing in the stable half should carry the energy.
+        steps = np.floor(((times - phi) % cycle_s) / cycle_s * config.tau).astype(int)
+        stable = steps < config.tau // 2
+        if stable.all() or not stable.any():
+            scores[i] = 0.0
+        else:
+            scores[i] = energies[stable].mean() - energies[~stable].mean()
+    return float(phases[int(np.argmax(scores))])

@@ -1,0 +1,141 @@
+"""Link metrics: the quantities the paper's Figure 7 reports.
+
+The paper reports, per configuration:
+
+* throughput in kbps,
+* the ratio of available GOBs,
+* the GOB error rate,
+
+and the throughput follows ``bits_per_frame * data_frame_rate *
+available_ratio * (1 - error_rate)`` (see DESIGN.md for the accounting
+that reproduces the paper's own numbers).  With ground truth in hand the
+harness measures the *true* error rate of available GOBs; the receiver's
+parity-based estimate is reported alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import InFrameConfig
+from repro.core.decoder import DecodedDataFrame
+
+
+@dataclass(frozen=True)
+class FrameComparison:
+    """Ground-truth comparison for one decoded data frame."""
+
+    index: int
+    bit_accuracy: float
+    available_ratio: float
+    gob_error_rate: float
+    parity_error_rate: float
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Aggregate link statistics over a run."""
+
+    n_data_frames: int
+    available_gob_ratio: float
+    gob_error_rate: float
+    parity_error_rate: float
+    bit_accuracy: float
+    data_frame_rate_hz: float
+    bits_per_frame: int
+    throughput_bps: float
+    goodput_bps: float
+
+    @property
+    def throughput_kbps(self) -> float:
+        """Throughput in kbps (the paper's headline unit)."""
+        return self.throughput_bps / 1000.0
+
+    def row(self) -> str:
+        """One formatted summary line for the benchmark tables."""
+        return (
+            f"frames={self.n_data_frames:3d}  avail={self.available_gob_ratio * 100:5.1f}%  "
+            f"err={self.gob_error_rate * 100:5.1f}%  "
+            f"throughput={self.throughput_kbps:5.2f} kbps"
+        )
+
+
+def gob_correct_mask(
+    truth: np.ndarray, decoded: DecodedDataFrame, config: InFrameConfig
+) -> np.ndarray:
+    """Per-GOB correctness: every Block bit matches the ground truth."""
+    truth = np.asarray(truth, dtype=bool)
+    if truth.shape != decoded.bits.shape:
+        raise ValueError(f"truth {truth.shape} vs decoded {decoded.bits.shape}")
+    matches = truth == decoded.bits
+    m = config.gob_size
+    tiled = matches.reshape(config.gob_rows, m, config.gob_cols, m)
+    return tiled.all(axis=(1, 3))
+
+
+def compare_bits(
+    truth: np.ndarray, decoded: DecodedDataFrame, config: InFrameConfig
+) -> FrameComparison:
+    """Score one decoded data frame against its transmitted grid."""
+    truth = np.asarray(truth, dtype=bool)
+    correct = gob_correct_mask(truth, decoded, config)
+    available = decoded.gob_available
+    n_available = int(available.sum())
+    if n_available:
+        error_rate = float((available & ~correct).sum() / n_available)
+    else:
+        error_rate = 0.0
+    return FrameComparison(
+        index=decoded.index,
+        bit_accuracy=float((truth == decoded.bits).mean()),
+        available_ratio=float(available.mean()),
+        gob_error_rate=error_rate,
+        parity_error_rate=decoded.parity_error_ratio,
+    )
+
+
+def summarize_link(
+    truths: list[np.ndarray],
+    decodeds: list[DecodedDataFrame],
+    config: InFrameConfig,
+) -> LinkStats:
+    """Aggregate Figure-7 statistics over a run.
+
+    ``truths[i]`` must be the transmitted grid for ``decodeds[i]``.
+    """
+    if len(truths) != len(decodeds):
+        raise ValueError(f"{len(truths)} truths vs {len(decodeds)} decoded frames")
+    if not decodeds:
+        raise ValueError("no decoded data frames to summarize")
+    comparisons = [
+        compare_bits(truth, decoded, config) for truth, decoded in zip(truths, decodeds)
+    ]
+    available = float(np.mean([c.available_ratio for c in comparisons]))
+    # Error rate averaged over frames that had available GOBs.
+    weighted_errors = [
+        (c.gob_error_rate, c.available_ratio) for c in comparisons if c.available_ratio > 0
+    ]
+    if weighted_errors:
+        errors, weights = zip(*weighted_errors)
+        gob_error = float(np.average(errors, weights=weights))
+    else:
+        gob_error = 0.0
+    parity_error = float(np.mean([c.parity_error_rate for c in comparisons]))
+    accuracy = float(np.mean([c.bit_accuracy for c in comparisons]))
+    rate = config.data_frame_rate_hz
+    bits = config.bits_per_frame
+    throughput = bits * rate * available * (1.0 - gob_error)
+    goodput = bits * rate * available * max(0.0, 1.0 - gob_error) * (1.0 - parity_error)
+    return LinkStats(
+        n_data_frames=len(decodeds),
+        available_gob_ratio=available,
+        gob_error_rate=gob_error,
+        parity_error_rate=parity_error,
+        bit_accuracy=accuracy,
+        data_frame_rate_hz=rate,
+        bits_per_frame=bits,
+        throughput_bps=float(throughput),
+        goodput_bps=float(goodput),
+    )

@@ -1,0 +1,179 @@
+"""GOB coding (paper Section 3.3 and its "larger GOB" future work).
+
+Two per-GOB codes:
+
+* ``xor`` (the prototype): ``m x m`` Blocks, the last Block is the XOR of
+  the other ``m^2 - 1`` -- single-error *detection*;
+* ``hamming84`` (the future-work upgrade): 3x3 Blocks, the first 8 carry
+  an extended-Hamming(8,4) codeword of 4 data bits, the 9th is held at 0
+  -- single-error *correction*, double-error detection, so a GOB with one
+  misread Block is repaired instead of discarded.
+
+The code is selected by ``InFrameConfig.gob_code``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import InFrameConfig
+from repro.ecc.hamming import DOUBLE_ERROR, decode_hamming84, encode_hamming84
+
+
+def data_bits_to_grid(data_bits: np.ndarray, config: InFrameConfig) -> np.ndarray:
+    """Lay out a flat data-bit vector onto the Block grid with GOB coding.
+
+    Bits are consumed GOB by GOB in row-major order; within a GOB they
+    fill the code's data positions and the redundancy Blocks are computed.
+
+    Parameters
+    ----------
+    data_bits:
+        Boolean vector of exactly ``config.bits_per_frame`` bits.
+    """
+    bits = np.asarray(data_bits, dtype=bool).ravel()
+    if bits.size != config.bits_per_frame:
+        raise ValueError(
+            f"expected {config.bits_per_frame} data bits, got {bits.size}"
+        )
+    m = config.gob_size
+    grid = np.zeros((config.block_rows, config.block_cols), dtype=bool)
+    per_gob = config.bits_per_gob
+    index = 0
+    for gob_row in range(config.gob_rows):
+        for gob_col in range(config.gob_cols):
+            gob_bits = bits[index : index + per_gob]
+            index += per_gob
+            cell = _encode_gob(gob_bits, config).reshape(m, m)
+            grid[gob_row * m : (gob_row + 1) * m, gob_col * m : (gob_col + 1) * m] = cell
+    return grid
+
+
+def grid_to_data_bits(grid: np.ndarray, config: InFrameConfig) -> np.ndarray:
+    """Inverse of :func:`data_bits_to_grid` (with correction for Hamming)."""
+    grid = _check_grid(grid, config)
+    out = np.empty(config.bits_per_frame, dtype=bool)
+    index = 0
+    for cell in _iter_gobs(grid, config):
+        data, _ = _decode_gob(cell.ravel(), config)
+        out[index : index + config.bits_per_gob] = data
+        index += config.bits_per_gob
+    return out
+
+
+def apply_parity_grid(data_grid: np.ndarray, config: InFrameConfig) -> np.ndarray:
+    """Recompute every GOB's redundancy Blocks from its data Blocks.
+
+    Takes a grid whose data positions carry bits (redundancy positions are
+    ignored) and returns a copy with correct coding Blocks.
+    """
+    grid = _check_grid(data_grid, config).copy()
+    m = config.gob_size
+    for gob_row in range(config.gob_rows):
+        for gob_col in range(config.gob_cols):
+            cell = grid[gob_row * m : (gob_row + 1) * m, gob_col * m : (gob_col + 1) * m]
+            flat = cell.ravel()
+            data = _data_positions(flat, config)
+            encoded = _encode_gob(data, config)
+            grid[
+                gob_row * m : (gob_row + 1) * m, gob_col * m : (gob_col + 1) * m
+            ] = encoded.reshape(m, m)
+    return grid
+
+
+def check_parity_grid(grid: np.ndarray, config: InFrameConfig) -> np.ndarray:
+    """Code verdict per GOB: a ``(gob_rows, gob_cols)`` boolean array.
+
+    True means the GOB decodes cleanly (XOR parity matches; for Hamming,
+    no uncorrectable double error).
+    """
+    grid = _check_grid(grid, config)
+    ok = np.zeros((config.gob_rows, config.gob_cols), dtype=bool)
+    for index, cell in enumerate(_iter_gobs(grid, config)):
+        _, verdict_ok = _decode_gob(cell.ravel(), config)
+        ok[index // config.gob_cols, index % config.gob_cols] = verdict_ok
+    return ok
+
+
+def decode_gob_grid(
+    grid: np.ndarray, config: InFrameConfig
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Decode (and, for Hamming, repair) a received Block grid.
+
+    Returns ``(corrected_grid, gob_ok, n_corrected)``: the grid with every
+    correctable GOB rewritten to its nearest codeword, the per-GOB code
+    verdict, and the number of GOBs that were repaired.
+    """
+    grid = _check_grid(grid, config).copy()
+    m = config.gob_size
+    ok = np.zeros((config.gob_rows, config.gob_cols), dtype=bool)
+    n_corrected = 0
+    for gob_row in range(config.gob_rows):
+        for gob_col in range(config.gob_cols):
+            cell = grid[gob_row * m : (gob_row + 1) * m, gob_col * m : (gob_col + 1) * m]
+            flat = cell.ravel()
+            data, verdict_ok = _decode_gob(flat, config)
+            ok[gob_row, gob_col] = verdict_ok
+            if config.gob_code == "hamming84" and verdict_ok:
+                repaired = _encode_gob(data, config)
+                if not np.array_equal(repaired, flat):
+                    n_corrected += 1
+                    grid[
+                        gob_row * m : (gob_row + 1) * m,
+                        gob_col * m : (gob_col + 1) * m,
+                    ] = repaired.reshape(m, m)
+    return grid, ok, n_corrected
+
+
+# ----------------------------------------------------------------------
+# Per-GOB code dispatch
+# ----------------------------------------------------------------------
+def _encode_gob(data_bits: np.ndarray, config: InFrameConfig) -> np.ndarray:
+    """Data bits -> flat m^2 Block bits for one GOB."""
+    data_bits = np.asarray(data_bits, dtype=bool).ravel()
+    if data_bits.size != config.bits_per_gob:
+        raise ValueError(
+            f"expected {config.bits_per_gob} data bits per GOB, got {data_bits.size}"
+        )
+    if config.gob_code == "hamming84":
+        flat = np.zeros(9, dtype=bool)
+        flat[:8] = encode_hamming84(data_bits)
+        return flat
+    parity = bool(np.bitwise_xor.reduce(data_bits))
+    return np.append(data_bits, parity)
+
+
+def _decode_gob(flat: np.ndarray, config: InFrameConfig) -> tuple[np.ndarray, bool]:
+    """Flat m^2 Block bits -> (data bits, decodes-cleanly flag)."""
+    if config.gob_code == "hamming84":
+        data, verdict = decode_hamming84(flat[:8])
+        return data, verdict != DOUBLE_ERROR
+    data = flat[:-1]
+    ok = bool(np.bitwise_xor.reduce(data)) == bool(flat[-1])
+    return data, ok
+
+
+def _data_positions(flat: np.ndarray, config: InFrameConfig) -> np.ndarray:
+    """The data bits as laid out by :func:`_encode_gob` (no correction)."""
+    if config.gob_code == "hamming84":
+        from repro.ecc.hamming import _DATA_POSITIONS
+
+        return flat[list(_DATA_POSITIONS)]
+    return flat[:-1]
+
+
+def _iter_gobs(grid: np.ndarray, config: InFrameConfig):
+    """Yield each GOB cell of *grid*, row-major."""
+    m = config.gob_size
+    for gob_row in range(config.gob_rows):
+        for gob_col in range(config.gob_cols):
+            yield grid[gob_row * m : (gob_row + 1) * m, gob_col * m : (gob_col + 1) * m]
+
+
+def _check_grid(grid: np.ndarray, config: InFrameConfig) -> np.ndarray:
+    grid = np.asarray(grid, dtype=bool)
+    if grid.shape != (config.block_rows, config.block_cols):
+        raise ValueError(
+            f"grid must be {config.block_rows}x{config.block_cols}, got {grid.shape}"
+        )
+    return grid

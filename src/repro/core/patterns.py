@@ -1,0 +1,62 @@
+"""Modulation patterns.
+
+The paper keys bit 1 with a chessboard at super-Pixel granularity: Pixel
+(i, j) is set to ``delta`` when ``i + j`` is odd and 0 otherwise.  The
+chessboard is deliberately the *highest spatial frequency* expressible at
+Pixel granularity, so it reads as "induced noise" to the decoder's
+smooth-and-subtract detector regardless of the underlying video content.
+
+Two ablation patterns are included for the benchmarks: vertical stripes
+(same density, lower 2-D frequency) and a seeded random Pixel mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import InFrameConfig
+from repro.core.geometry import FrameGeometry
+
+
+def chessboard_pixel_mask(pixel_rows: int, pixel_cols: int) -> np.ndarray:
+    """Chessboard over a super-Pixel grid: 1 where (i + j) is odd."""
+    rows = np.arange(pixel_rows)[:, None]
+    cols = np.arange(pixel_cols)[None, :]
+    return ((rows + cols) % 2 == 1).astype(np.float32)
+
+
+def stripes_pixel_mask(pixel_rows: int, pixel_cols: int) -> np.ndarray:
+    """Vertical stripes over a super-Pixel grid: 1 where j is odd."""
+    cols = np.arange(pixel_cols)[None, :]
+    mask = (cols % 2 == 1).astype(np.float32)
+    return np.broadcast_to(mask, (pixel_rows, pixel_cols)).copy()
+
+
+def random_pixel_mask(pixel_rows: int, pixel_cols: int, seed: int = 12345) -> np.ndarray:
+    """A seeded random half-density Pixel mask (ablation pattern)."""
+    rng = np.random.default_rng(seed)
+    return (rng.random((pixel_rows, pixel_cols)) < 0.5).astype(np.float32)
+
+
+def pattern_field(config: InFrameConfig, geometry: FrameGeometry) -> np.ndarray:
+    """Full-frame modulation mask in {0, 1} at device-pixel resolution.
+
+    The mask is the selected Pixel pattern expanded so each super Pixel's
+    ``p x p`` device pixels share one value; it is zero outside the data
+    area.  The pattern is *global* (continuous across Block boundaries),
+    matching the paper's construction.
+    """
+    pixel_rows = config.block_rows * config.pixels_per_block
+    pixel_cols = config.block_cols * config.pixels_per_block
+    if config.pattern == "chessboard":
+        mask = chessboard_pixel_mask(pixel_rows, pixel_cols)
+    elif config.pattern == "stripes":
+        mask = stripes_pixel_mask(pixel_rows, pixel_cols)
+    else:
+        mask = random_pixel_mask(pixel_rows, pixel_cols)
+    p = config.element_pixels
+    expanded = np.kron(mask, np.ones((p, p), dtype=np.float32))
+    field = np.zeros((geometry.frame_height, geometry.frame_width), dtype=np.float32)
+    rows, cols = geometry.data_area_slices()
+    field[rows, cols] = expanded
+    return field

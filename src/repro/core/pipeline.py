@@ -1,0 +1,210 @@
+"""End-to-end API: sender, receiver, and the one-call link runner.
+
+:class:`InFrameSender` wires a video source and a data schedule into a
+playable display timeline; :class:`InFrameReceiver` wires the decoder and
+payload assembler for a camera; :func:`run_link` runs the whole loop --
+multiplex, display, capture, decode, score -- and returns Figure-7 style
+statistics.  This is the surface the examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.camera.capture import CameraModel, CapturedFrame
+from repro.core.config import InFrameConfig
+from repro.core.decoder import DecodedDataFrame, InFrameDecoder
+from repro.core.framing import (
+    FramingPlan,
+    PayloadAssembler,
+    PayloadSchedule,
+    PseudoRandomSchedule,
+)
+from repro.core.geometry import FrameGeometry
+from repro.core.metrics import LinkStats, summarize_link
+from repro.core.multiplexer import DataFrameSchedule, MultiplexedStream
+from repro.display.panel import DisplayPanel
+from repro.display.scheduler import DisplayTimeline
+from repro.video.source import VideoSource
+
+
+class InFrameSender:
+    """Sender: multiplexes a data schedule onto a video for a given panel.
+
+    Parameters
+    ----------
+    config:
+        InFrame parameters; ``refresh_hz``/``video_fps`` must match the
+        panel and video.
+    video:
+        The primary content (its shape must equal the panel's).
+    schedule:
+        Data supplier; defaults to the paper's pseudo-random generator.
+    panel:
+        The display; defaults to the paper's 120 Hz panel at the video's
+        resolution.
+    """
+
+    def __init__(
+        self,
+        config: InFrameConfig,
+        video: VideoSource,
+        schedule: DataFrameSchedule | None = None,
+        panel: DisplayPanel | None = None,
+    ) -> None:
+        if panel is None:
+            panel = DisplayPanel(
+                width=video.width, height=video.height, refresh_hz=config.refresh_hz
+            )
+        if (panel.height, panel.width) != (video.height, video.width):
+            raise ValueError(
+                f"panel {panel.height}x{panel.width} does not match video "
+                f"{video.height}x{video.width}"
+            )
+        if abs(panel.refresh_hz - config.refresh_hz) > 1e-9:
+            raise ValueError(
+                f"panel refresh {panel.refresh_hz} does not match config "
+                f"refresh_hz {config.refresh_hz}"
+            )
+        self.config = config
+        self.video = video
+        self.panel = panel
+        self.schedule = schedule if schedule is not None else PseudoRandomSchedule(config)
+        self.stream = MultiplexedStream(
+            config, video, self.schedule, gamma_curve=panel.gamma_curve
+        )
+
+    @property
+    def geometry(self) -> FrameGeometry:
+        """The Block-grid placement on this panel."""
+        return self.stream.geometry
+
+    def timeline(self) -> DisplayTimeline:
+        """The emitted-light timeline of the multiplexed playback."""
+        return DisplayTimeline(self.panel, self.stream)
+
+    def plan(self) -> FramingPlan | None:
+        """The framing plan, when the schedule carries a payload."""
+        if isinstance(self.schedule, PayloadSchedule):
+            return self.schedule.plan
+        return None
+
+
+class InFrameReceiver:
+    """Receiver: decodes captures and (optionally) reassembles payloads."""
+
+    def __init__(
+        self,
+        config: InFrameConfig,
+        geometry: FrameGeometry,
+        camera: CameraModel,
+        plan: FramingPlan | None = None,
+        inset: float = 0.2,
+    ) -> None:
+        self.config = config
+        self.camera = camera
+        self.decoder = InFrameDecoder(
+            config,
+            geometry,
+            camera.height,
+            camera.width,
+            inset=inset,
+            screen_rect=camera.screen_rect() if camera.screen_fill < 1.0 else None,
+            view=camera.view,
+        )
+        self.plan = plan
+
+    def decode(self, captures: list[CapturedFrame]) -> list[DecodedDataFrame]:
+        """Decode captured frames into data-frame verdicts."""
+        return self.decoder.decode(captures)
+
+    def assemble_payload(self, decoded: list[DecodedDataFrame]) -> bytes:
+        """Reassemble the payload carried by the decoded frames.
+
+        Requires the sender's :class:`FramingPlan` (constructor argument).
+        """
+        if self.plan is None:
+            raise ValueError("receiver was built without a framing plan")
+        assembler = PayloadAssembler(self.config, self.plan)
+        for frame in decoded:
+            assembler.add_frame(frame)
+        return assembler.payload()
+
+
+@dataclass(frozen=True)
+class LinkRun:
+    """Everything produced by one end-to-end link simulation."""
+
+    stats: LinkStats
+    decoded: list[DecodedDataFrame]
+    truths: list[np.ndarray]
+    captures: list[CapturedFrame]
+    sender: InFrameSender
+    receiver: InFrameReceiver
+
+
+def run_link(
+    config: InFrameConfig,
+    video: VideoSource,
+    camera: CameraModel | None = None,
+    schedule: DataFrameSchedule | None = None,
+    panel: DisplayPanel | None = None,
+    n_camera_frames: int | None = None,
+    seed: int = 0,
+    warmup_data_frames: int = 1,
+) -> LinkRun:
+    """Run the full screen->camera loop and score it against ground truth.
+
+    Parameters
+    ----------
+    config, video, camera, schedule, panel:
+        The link's components; camera defaults to the paper's 1280x720
+        30 FPS receiver auto-exposed for the panel.
+    n_camera_frames:
+        Captures to take; defaults to everything the stream duration
+        allows.
+    seed:
+        Seed for the sensor-noise generator.
+    warmup_data_frames:
+        Leading data frames excluded from scoring (their cycles are only
+        partially covered by captures).
+    """
+    sender = InFrameSender(config, video, schedule=schedule, panel=panel)
+    timeline = sender.timeline()
+    if camera is None:
+        peak = sender.panel.gamma_curve.peak_luminance * sender.panel.brightness
+        camera = CameraModel().auto_exposed(peak)
+    receiver = InFrameReceiver(config, sender.geometry, camera, plan=sender.plan())
+    rng = np.random.default_rng(seed)
+    max_frames = camera.frames_covering(timeline)
+    if max_frames < 1:
+        raise ValueError("stream too short for even one camera frame")
+    if n_camera_frames is None:
+        n_camera_frames = max_frames
+    n_camera_frames = min(n_camera_frames, max_frames)
+    captures = camera.capture_sequence(timeline, n_camera_frames, rng=rng)
+    decoded_all = receiver.decode(captures)
+    # Score only fully covered data frames: drop warmup and the tail frame
+    # whose cycle the capture window may have clipped.
+    last_complete = int(
+        np.floor(captures[-1].mid_exposure_s * config.refresh_hz / config.tau)
+    )
+    decoded = [
+        d for d in decoded_all if warmup_data_frames <= d.index < last_complete
+    ]
+    if not decoded:
+        raise ValueError(
+            "no fully covered data frames; lengthen the video or reduce warmup"
+        )
+    truths = [sender.stream.ground_truth(d.index) for d in decoded]
+    stats = summarize_link(truths, decoded, config)
+    return LinkRun(
+        stats=stats,
+        decoded=decoded,
+        truths=truths,
+        captures=captures,
+        sender=sender,
+        receiver=receiver,
+    )

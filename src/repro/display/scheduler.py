@@ -1,0 +1,241 @@
+"""Display timeline: frames -> emitted light field over continuous time.
+
+:class:`DisplayTimeline` is the boundary between the discrete world of the
+encoder (a sequence of pixel-value frames) and the continuous world of the
+receivers (a camera integrating light over exposure windows; an eye
+low-pass filtering luminance over time).  It models:
+
+* frame latching on the panel's refresh clock;
+* the first-order liquid-crystal response of the panel;
+* exact integration of luminance over arbitrary time windows.
+
+Frames are produced lazily from a :class:`FrameSource`, so a multi-second
+120 Hz stream never has to exist in memory at once.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.display.panel import DisplayPanel
+
+
+class FrameSource(Protocol):
+    """Anything that can serve pixel-value frames by index."""
+
+    @property
+    def n_frames(self) -> int:
+        """Total number of frames available."""
+        ...
+
+    def frame(self, index: int) -> np.ndarray:
+        """Return frame *index* as a float32 array of pixel values."""
+        ...
+
+
+class DisplayTimeline:
+    """The light field a panel emits while playing a frame source.
+
+    Parameters
+    ----------
+    panel:
+        The :class:`DisplayPanel` doing the playback.
+    source:
+        The frame source being played, one frame per refresh.
+
+    Notes
+    -----
+    With a liquid-crystal time constant ``tau``, the luminance during frame
+    ``i`` (latched at ``t_i``) is ``L_i + (s_{i-1} - L_i) * exp(-(t - t_i)/tau)``
+    where ``s_{i-1}`` is the pixel state at the end of the previous frame.
+    States are advanced lazily and monotonically; jumping far backwards
+    re-warms the recursion from a few frames earlier, which is exact to
+    within ``exp(-k * T / tau)`` (~1e-15 for the defaults).
+    """
+
+    _WARMUP_FRAMES = 8
+    _CACHE_SIZE = 24
+
+    def __init__(self, panel: DisplayPanel, source: FrameSource) -> None:
+        if source.n_frames < 1:
+            raise ValueError("frame source must contain at least one frame")
+        self.panel = panel
+        self.source = source
+        self._lum_cache: dict[int, np.ndarray] = {}
+        self._lum_cache_order: list[int] = []
+        self._avg_cache: dict[int, np.ndarray] = {}
+        self._avg_cache_order: list[int] = []
+        self._state_index = -1
+        self._state: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Clocking
+    # ------------------------------------------------------------------
+    @property
+    def n_frames(self) -> int:
+        """Number of frames in the underlying source."""
+        return self.source.n_frames
+
+    @property
+    def duration_s(self) -> float:
+        """Total playback duration in seconds."""
+        return self.n_frames * self.panel.frame_interval_s
+
+    def frame_index_at(self, t: float) -> int:
+        """Index of the frame latched at time *t* (clamped to the stream)."""
+        index = int(np.floor(t * self.panel.refresh_hz))
+        return min(max(index, 0), self.n_frames - 1)
+
+    def latch_time(self, index: int) -> float:
+        """Time at which frame *index* is latched."""
+        return index * self.panel.frame_interval_s
+
+    # ------------------------------------------------------------------
+    # Light field evaluation
+    # ------------------------------------------------------------------
+    def luminance_at(self, t: float, rect: tuple[int, int, int, int] | None = None) -> np.ndarray:
+        """Instantaneous luminance field at time *t* (cd/m^2).
+
+        Parameters
+        ----------
+        t:
+            Time in seconds from playback start; clamped into the stream.
+        rect:
+            Optional ``(row0, row1, col0, col1)`` crop evaluated instead of
+            the full field (the full-field state is still tracked so the
+            liquid-crystal recursion stays exact).
+        """
+        index = self.frame_index_at(t)
+        target = self._frame_luminance(index)
+        if self.panel.response_time_s <= 0.0:
+            return self._crop(target, rect)
+        previous_state = self._state_before(index)
+        elapsed = max(t - self.latch_time(index), 0.0)
+        decay = np.float32(np.exp(-elapsed / self.panel.response_time_s))
+        field = target + (previous_state - target) * decay
+        return self._crop(field, rect)
+
+    def integrate(
+        self,
+        t0: float,
+        t1: float,
+        rect: tuple[int, int, int, int] | None = None,
+    ) -> np.ndarray:
+        """Mean luminance over the window [t0, t1] (cd/m^2).
+
+        The window is split at frame boundaries and each piece is integrated
+        analytically (exponential relaxation toward the latched frame).
+        """
+        if not (t1 > t0):
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+        interval = self.panel.frame_interval_s
+        tau = self.panel.response_time_s
+        total: np.ndarray | None = None
+        first_index = self.frame_index_at(t0)
+        last_index = self.frame_index_at(t1 - 1e-12)
+        for index in range(first_index, last_index + 1):
+            seg_start = max(t0, self.latch_time(index)) if index > first_index else t0
+            seg_end = min(t1, self.latch_time(index + 1))
+            if index == self.n_frames - 1:
+                seg_end = t1  # stream holds its last frame
+            seg_len = seg_end - seg_start
+            if seg_len <= 0:
+                continue
+            target = self._crop(self._frame_luminance(index), rect)
+            piece = target * np.float32(seg_len)
+            if tau > 0.0:
+                previous_state = self._crop(self._state_before(index), rect)
+                a = max(seg_start - self.latch_time(index), 0.0)
+                b = max(seg_end - self.latch_time(index), 0.0)
+                weight = np.float32(tau * (np.exp(-a / tau) - np.exp(-b / tau)))
+                piece = piece + (previous_state - target) * weight
+            total = piece if total is None else total + piece
+        assert total is not None  # guaranteed: t1 > t0 yields >= 1 segment
+        return (total / np.float32(t1 - t0)).astype(np.float32)
+
+    def frame_average_luminance(self, index: int) -> np.ndarray:
+        """Mean luminance field over the full refresh interval of frame *index*.
+
+        This folds the liquid-crystal response into a single per-frame
+        field; the camera pipeline blends these with rolling-shutter row
+        weights instead of re-integrating per row.
+        """
+        if not (0 <= index < self.n_frames):
+            raise IndexError(f"frame index {index} outside [0, {self.n_frames})")
+        cached = self._avg_cache.get(index)
+        if cached is not None:
+            return cached
+        start = self.latch_time(index)
+        avg = self.integrate(start, start + self.panel.frame_interval_s)
+        self._avg_cache[index] = avg
+        self._avg_cache_order.append(index)
+        if len(self._avg_cache_order) > self._CACHE_SIZE:
+            evicted = self._avg_cache_order.pop(0)
+            self._avg_cache.pop(evicted, None)
+        return avg
+
+    def region_waveform(
+        self,
+        times: np.ndarray,
+        rect: tuple[int, int, int, int] | None = None,
+    ) -> np.ndarray:
+        """Mean luminance of a rectangle sampled at each time in *times*."""
+        samples = np.empty(len(times), dtype=np.float32)
+        for i, t in enumerate(np.asarray(times, dtype=np.float64)):
+            samples[i] = float(np.mean(self.luminance_at(float(t), rect)))
+        return samples
+
+    def pixel_waveform(self, times: np.ndarray, row: int, col: int) -> np.ndarray:
+        """Luminance waveform of a single pixel sampled at *times*."""
+        rect = (row, row + 1, col, col + 1)
+        return self.region_waveform(times, rect)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _crop(
+        field: np.ndarray, rect: tuple[int, int, int, int] | None
+    ) -> np.ndarray:
+        if rect is None:
+            return field
+        row0, row1, col0, col1 = rect
+        return field[row0:row1, col0:col1]
+
+    def _frame_luminance(self, index: int) -> np.ndarray:
+        cached = self._lum_cache.get(index)
+        if cached is not None:
+            return cached
+        lum = self.panel.emitted_luminance(self.source.frame(index))
+        self._lum_cache[index] = lum
+        self._lum_cache_order.append(index)
+        if len(self._lum_cache_order) > self._CACHE_SIZE:
+            evicted = self._lum_cache_order.pop(0)
+            self._lum_cache.pop(evicted, None)
+        return lum
+
+    def _state_before(self, index: int) -> np.ndarray:
+        """Pixel luminance state at the instant frame *index* is latched."""
+        if index == 0:
+            return self._frame_luminance(0)
+        if self._state is not None and self._state_index == index:
+            return self._state
+        if self._state is None or self._state_index > index or self._state_index < index - 64:
+            # (Re)warm the recursion from a settled approximation.
+            start = max(index - self._WARMUP_FRAMES, 0)
+            state = self._frame_luminance(start).copy()
+            self._state_index = start + 1
+        else:
+            state = self._state
+        decay = np.float32(
+            np.exp(-self.panel.frame_interval_s / self.panel.response_time_s)
+        )
+        for i in range(self._state_index, index):
+            # State at the latch of frame i+1: relaxed toward frame i's target.
+            target = self._frame_luminance(i)
+            state = target + (state - target) * decay
+        self._state = state
+        self._state_index = index
+        return state

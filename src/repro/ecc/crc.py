@@ -1,0 +1,54 @@
+"""CRC-16/CCITT-FALSE payload integrity check.
+
+The InFrame framing layer appends a CRC to each payload so the receiver
+can distinguish "RS decoding produced the original payload" from "RS
+decoding produced *a* codeword" (miscorrection), which matters at the
+error rates the video-content channel produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY = 0x1021
+_INIT = 0xFFFF
+
+
+def _build_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint16)
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ _POLY) if (crc & 0x8000) else (crc << 1)
+            crc &= 0xFFFF
+        table[byte] = crc
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc16(data: bytes) -> int:
+    """Return the CRC-16/CCITT-FALSE checksum of *data* as an int in [0, 0xFFFF]."""
+    crc = _INIT
+    for byte in bytes(data):
+        crc = ((crc << 8) & 0xFFFF) ^ int(_TABLE[((crc >> 8) ^ byte) & 0xFF])
+    return crc
+
+
+def crc16_bytes(data: bytes) -> bytes:
+    """Return the 2-byte big-endian CRC of *data*."""
+    return crc16(data).to_bytes(2, "big")
+
+
+def crc16_append(data: bytes) -> bytes:
+    """Return ``data || crc16(data)``."""
+    return bytes(data) + crc16_bytes(data)
+
+
+def crc16_verify(data_with_crc: bytes) -> bool:
+    """Check a ``payload || crc`` buffer produced by :func:`crc16_append`."""
+    buf = bytes(data_with_crc)
+    if len(buf) < 2:
+        return False
+    return crc16(buf[:-2]) == int.from_bytes(buf[-2:], "big")

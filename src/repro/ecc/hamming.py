@@ -1,0 +1,88 @@
+"""Extended Hamming (8,4) SECDED code.
+
+The paper's prototype protects each 2x2 GOB with a single XOR parity
+Block (error *detection* only) and notes that "more sophisticated error
+correction codes can be applied for larger GOB" as future work.  This
+module supplies that upgrade: with 3x3 GOBs, 8 of the 9 Blocks carry an
+extended-Hamming codeword of 4 data bits -- single-error *correction*,
+double-error detection -- so a GOB with one misread Block is repaired
+instead of discarded.
+
+Bit layout (1-indexed positions, classic Hamming):
+
+====  =======================
+pos   meaning
+====  =======================
+1     p1 (parity of 3,5,7)
+2     p2 (parity of 3,6,7)
+3     d1
+4     p3 (parity of 5,6,7)
+5     d2
+6     d3
+7     d4
+8     overall parity (SECDED)
+====  =======================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Data-bit positions (0-indexed) in the 8-bit codeword.
+_DATA_POSITIONS = (2, 4, 5, 6)
+#: Positions checked by each of the three Hamming parities (0-indexed).
+_CHECKS = ((0, 2, 4, 6), (1, 2, 5, 6), (3, 4, 5, 6))
+
+#: Decode verdicts.
+OK = "ok"
+CORRECTED = "corrected"
+DOUBLE_ERROR = "double_error"
+
+
+def encode_hamming84(data_bits: np.ndarray) -> np.ndarray:
+    """Encode 4 data bits into an extended-Hamming 8-bit codeword."""
+    bits = np.asarray(data_bits, dtype=bool).ravel()
+    if bits.size != 4:
+        raise ValueError(f"expected 4 data bits, got {bits.size}")
+    word = np.zeros(8, dtype=bool)
+    word[list(_DATA_POSITIONS)] = bits
+    for parity_pos, checked in zip((0, 1, 3), _CHECKS):
+        word[parity_pos] = np.bitwise_xor.reduce(word[list(checked[1:])])
+    word[7] = np.bitwise_xor.reduce(word[:7])
+    return word
+
+
+def decode_hamming84(word: np.ndarray) -> tuple[np.ndarray, str]:
+    """Decode an 8-bit word; returns ``(data_bits, verdict)``.
+
+    Verdicts: :data:`OK` (clean), :data:`CORRECTED` (single error fixed),
+    :data:`DOUBLE_ERROR` (uncorrectable; data bits are best-effort).
+    """
+    received = np.asarray(word, dtype=bool).ravel()
+    if received.size != 8:
+        raise ValueError(f"expected 8 codeword bits, got {received.size}")
+    word = received.copy()
+    syndrome = 0
+    for bit_value, checked in zip((1, 2, 4), _CHECKS):
+        if np.bitwise_xor.reduce(word[list(checked)]):
+            syndrome += bit_value
+    overall = bool(np.bitwise_xor.reduce(word))
+    if syndrome == 0 and not overall:
+        return word[list(_DATA_POSITIONS)].copy(), OK
+    if overall:
+        # Single error (possibly in the overall parity bit itself).
+        if syndrome:
+            word[syndrome - 1] = ~word[syndrome - 1]
+        else:
+            word[7] = ~word[7]
+        return word[list(_DATA_POSITIONS)].copy(), CORRECTED
+    # Syndrome nonzero but overall parity even: two errors.
+    return word[list(_DATA_POSITIONS)].copy(), DOUBLE_ERROR
+
+
+def encode_block(nibbles: np.ndarray) -> np.ndarray:
+    """Vector convenience: encode an ``(n, 4)`` array into ``(n, 8)``."""
+    nibbles = np.asarray(nibbles, dtype=bool)
+    if nibbles.ndim != 2 or nibbles.shape[1] != 4:
+        raise ValueError(f"expected (n, 4) data bits, got {nibbles.shape}")
+    return np.stack([encode_hamming84(row) for row in nibbles])

@@ -1,0 +1,38 @@
+"""Human-vision-system substrate.
+
+Replaces the paper's 8-person user study with a quantitative model of the
+two perceptual phenomena the paper builds on (its Section 2):
+
+* **flicker fusion** (:mod:`repro.hvs.temporal`, :mod:`repro.hvs.cff`) --
+  above the critical flicker frequency the eye behaves as a linear low-pass
+  filter and perceives only average luminance; CFF grows with luminance
+  (Ferry-Porter law), which is why brighter content flickers more at a
+  fixed pixel-value amplitude (paper Fig. 6, left);
+* **phantom array** (:mod:`repro.hvs.phantom`) -- eye motion makes abrupt
+  temporal transitions visible far above CFF; lower amplitude, larger duty
+  cycle and larger beam (super-Pixel) size reduce it, which is what the
+  temporal block smoothing and the choice of p exploit.
+
+:mod:`repro.hvs.flicker` combines both into a 0-4 flicker score on the
+paper's user-study scale; :mod:`repro.hvs.perception` reconstructs the
+video a human perceives and scores residual artifacts.
+"""
+
+from repro.hvs.cff import critical_flicker_frequency
+from repro.hvs.flicker import FlickerPredictor, FlickerReport, SubjectProfile
+from repro.hvs.perception import perceived_frame, perception_artifacts
+from repro.hvs.phantom import phantom_array_energy
+from repro.hvs.temporal import flicker_spectrum, perceived_flicker_energy, sensitivity_weight
+
+__all__ = [
+    "critical_flicker_frequency",
+    "flicker_spectrum",
+    "sensitivity_weight",
+    "perceived_flicker_energy",
+    "phantom_array_energy",
+    "FlickerPredictor",
+    "FlickerReport",
+    "SubjectProfile",
+    "perceived_frame",
+    "perception_artifacts",
+]

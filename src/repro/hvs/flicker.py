@@ -1,0 +1,299 @@
+"""Flicker scoring on the paper's 0-4 user-study scale.
+
+The paper showed original and multiplexed videos side by side and asked 8
+participants to rate flicker: 0 "no difference at all", 1 "almost
+unnoticeable", 2 "merely noticeable", 3 "evident flicker", 4 "strong
+flicker or artifact" (0 and 1 counting as satisfactory).
+
+:class:`FlickerPredictor` reproduces that judgement from first principles:
+
+1. sample region-mean luminance waveforms from the display timeline on a
+   coarse spatial grid (participants report the worst artifact anywhere on
+   screen, so the score uses the worst region);
+2. score each waveform's steady flicker with
+   :func:`repro.hvs.temporal.perceived_flicker_energy`;
+3. estimate the data-modulation envelope of each waveform and score its
+   transitions with :func:`repro.hvs.phantom.phantom_array_energy`;
+4. map total energy to the 0-4 scale with a logistic psychometric curve.
+
+Per-subject variation (CFF offset, sensitivity gain, response noise) is
+expressed through :class:`SubjectProfile`; the simulated 8-person panel
+lives in :mod:`repro.analysis.userstudy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive, check_positive_int
+from repro.display.scheduler import DisplayTimeline
+from repro.hvs.phantom import PHANTOM_GAIN, beam_size_factor, duty_cycle_factor, phantom_array_energy
+from repro.hvs.temporal import (
+    luminance_normalizer,
+    perceived_flicker_energy,
+    sensitivity_weight,
+)
+
+#: Logistic psychometric mapping: energy at which the score crosses 2.0
+#: ("merely noticeable").  Calibrated so the paper's satisfactory settings
+#: (delta <= 20, tau >= 10) land below 1.
+SCORE_MID_LOG10_ENERGY = -2.31
+#: Slope of the psychometric curve in decades of energy.
+SCORE_SLOPE_PER_DECADE = 1.36
+
+
+@dataclass(frozen=True)
+class SubjectProfile:
+    """One (simulated) user-study participant.
+
+    Attributes
+    ----------
+    cff_offset_hz:
+        Individual CFF deviation from the Ferry-Porter population mean.
+    sensitivity_gain:
+        Multiplicative contrast-sensitivity factor (1.0 = average; the
+        paper notes a designer and a video expert were "more sensitive").
+    response_bias:
+        Additive bias on the reported 0-4 score (rating style).
+    """
+
+    cff_offset_hz: float = 0.0
+    sensitivity_gain: float = 1.0
+    response_bias: float = 0.0
+
+
+@dataclass(frozen=True)
+class FlickerReport:
+    """Outcome of scoring one stimulus."""
+
+    score: float
+    flicker_energy: float
+    phantom_energy: float
+    worst_region: tuple[int, int]
+    region_energies: np.ndarray
+
+    @property
+    def total_energy(self) -> float:
+        """Combined perceptual energy driving the score."""
+        return self.flicker_energy + self.phantom_energy
+
+    @property
+    def satisfactory(self) -> bool:
+        """True if the score is in the paper's satisfactory band (< 1.5)."""
+        return self.score < 1.5
+
+
+class FlickerPredictor:
+    """Predict the paper's 0-4 flicker score for a display timeline.
+
+    Parameters
+    ----------
+    grid:
+        ``(rows, cols)`` of the spatial scoring grid.  The default is
+        Block-scale (the paper's naive-design artifacts are *per-block*
+        luminance jumps, which coarse regions would average away); a
+        region the size of a coding Block subtends roughly a degree at
+        the paper's viewing distance, well within foveal flicker acuity.
+    oversample:
+        Temporal samples per display refresh (>= 2 to resolve the LC
+        response shape).
+    pixel_size_px:
+        Super-Pixel side used for the phantom-array beam factor.
+    """
+
+    def __init__(
+        self,
+        grid: tuple[int, int] = (24, 40),
+        oversample: int = 4,
+        pixel_size_px: int = 4,
+    ) -> None:
+        rows, cols = grid
+        self.grid = (check_positive_int(rows, "grid rows"), check_positive_int(cols, "grid cols"))
+        self.oversample = check_positive_int(oversample, "oversample")
+        self.pixel_size_px = check_positive_int(pixel_size_px, "pixel_size_px")
+
+    # ------------------------------------------------------------------
+    # Waveform extraction
+    # ------------------------------------------------------------------
+    def region_waveforms(
+        self,
+        timeline: DisplayTimeline,
+        duration_s: float | None = None,
+    ) -> tuple[np.ndarray, float]:
+        """Region-mean luminance waveforms on the scoring grid.
+
+        Returns ``(waveforms, sample_rate_hz)`` with waveforms shaped
+        ``(rows, cols, n_samples)``.
+        """
+        duration = timeline.duration_s if duration_s is None else float(duration_s)
+        duration = min(duration, timeline.duration_s)
+        check_positive(duration, "duration_s")
+        sample_rate = timeline.panel.refresh_hz * self.oversample
+        n_samples = max(int(round(duration * sample_rate)), 8)
+        times = (np.arange(n_samples) + 0.5) / sample_rate
+        rows, cols = self.grid
+        waveforms = np.empty((rows, cols, n_samples), dtype=np.float64)
+        for i, t in enumerate(times):
+            field = timeline.luminance_at(float(t))
+            waveforms[:, :, i] = self._region_means(field, rows, cols)
+        return waveforms, sample_rate
+
+    @staticmethod
+    def _region_means(field: np.ndarray, rows: int, cols: int) -> np.ndarray:
+        """Mean of each cell of a rows x cols partition of *field*."""
+        height, width = field.shape
+        usable_h = (height // rows) * rows
+        usable_w = (width // cols) * cols
+        cropped = field[:usable_h, :usable_w]
+        return cropped.reshape(rows, usable_h // rows, cols, usable_w // cols).mean(axis=(1, 3))
+
+    @staticmethod
+    def estimate_envelope(waveform: np.ndarray, sample_rate_hz: float, carrier_hz: float) -> np.ndarray:
+        """Estimate the data-modulation amplitude envelope of a waveform.
+
+        High-passes away the video content (anything slower than the
+        complementary carrier), then takes a moving RMS over one carrier
+        period.  The complementary carrier is a square wave, whose RMS
+        equals its amplitude, so no crest-factor correction is applied.
+        """
+        samples = np.asarray(waveform, dtype=np.float64)
+        period = max(int(round(sample_rate_hz / carrier_hz)), 2)
+        kernel = np.ones(period) / period
+        baseline = np.convolve(samples, kernel, mode="same")
+        carrier = samples - baseline
+        return np.sqrt(np.maximum(np.convolve(carrier**2, kernel, mode="same"), 0.0))
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        timeline: DisplayTimeline,
+        duration_s: float | None = None,
+        subject: SubjectProfile | None = None,
+        reference: DisplayTimeline | None = None,
+    ) -> FlickerReport:
+        """Score a display timeline; see the module docstring for the steps.
+
+        Parameters
+        ----------
+        reference:
+            Optional timeline of the *original* (unmultiplexed) content.
+            The paper's panel rated original and multiplexed videos side
+            by side, i.e. the perceived *change*: with a reference, the
+            content's own temporal activity (motion, film grain) is
+            subtracted out and only the added modulation is scored.  The
+            reference's mean luminance still sets the adaptation state.
+        """
+        waveforms, sample_rate = self.region_waveforms(timeline, duration_s)
+        if reference is not None:
+            ref_waveforms, ref_rate = self.region_waveforms(reference, duration_s)
+            if ref_waveforms.shape != waveforms.shape or ref_rate != sample_rate:
+                raise ValueError("reference timeline must match the stimulus geometry")
+            ref_means = ref_waveforms.mean(axis=2, keepdims=True)
+            waveforms = waveforms - ref_waveforms + ref_means
+        carrier_hz = timeline.panel.refresh_hz / 2.0
+        return self.report_from_waveforms(waveforms, sample_rate, carrier_hz, subject)
+
+    def report_from_waveforms(
+        self,
+        waveforms: np.ndarray,
+        sample_rate: float,
+        carrier_hz: float,
+        subject: SubjectProfile | None = None,
+    ) -> FlickerReport:
+        """Score pre-extracted region waveforms.
+
+        Lets a multi-subject panel pay the (expensive) waveform extraction
+        once and re-score per subject.
+        """
+        subject = subject or SubjectProfile()
+        rows, cols = self.grid
+        if waveforms.shape[:2] != (rows, cols):
+            raise ValueError(
+                f"waveforms grid {waveforms.shape[:2]} does not match predictor {self.grid}"
+            )
+        flicker = self._flicker_energies(waveforms, sample_rate, subject)
+        phantom = self._phantom_energies(waveforms, sample_rate, carrier_hz, subject)
+        total = flicker + phantom
+        worst_flat = int(np.argmax(total))
+        worst = (worst_flat // cols, worst_flat % cols)
+        score = self.score_from_energy(float(total[worst])) + subject.response_bias
+        return FlickerReport(
+            score=float(np.clip(score, 0.0, 4.0)),
+            flicker_energy=float(flicker[worst]),
+            phantom_energy=float(phantom[worst]),
+            worst_region=worst,
+            region_energies=total,
+        )
+
+    def _flicker_energies(
+        self,
+        waveforms: np.ndarray,
+        sample_rate: float,
+        subject: SubjectProfile,
+    ) -> np.ndarray:
+        """Vectorised :func:`perceived_flicker_energy` over the region grid."""
+        rows, cols, n = waveforms.shape
+        flat = waveforms.reshape(rows * cols, n)
+        means = flat.mean(axis=1, keepdims=True)
+        window = np.hanning(n)
+        gain = window.sum() / n
+        spectrum = np.fft.rfft((flat - means) * window, axis=1)
+        amplitudes = 2.0 * np.abs(spectrum[:, 1:]) / (n * gain)
+        freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)[1:]
+        safe_means = np.maximum(means, 1e-6)
+        contrast = amplitudes / luminance_normalizer(safe_means)
+        weights = np.stack(
+            [
+                sensitivity_weight(freqs, float(m), cff_offset_hz=subject.cff_offset_hz)
+                for m in safe_means[:, 0]
+            ]
+        )
+        energies = np.sum((contrast * weights) ** 2, axis=1)
+        energies *= subject.sensitivity_gain**2
+        return energies.reshape(rows, cols)
+
+    def _phantom_energies(
+        self,
+        waveforms: np.ndarray,
+        sample_rate: float,
+        carrier_hz: float,
+        subject: SubjectProfile,
+    ) -> np.ndarray:
+        """Vectorised :func:`phantom_array_energy` over the region grid."""
+        from scipy import ndimage
+
+        rows, cols, n = waveforms.shape
+        flat = waveforms.reshape(rows * cols, n)
+        period = max(int(round(sample_rate / carrier_hz)), 2)
+        baseline = ndimage.uniform_filter1d(flat, size=period, axis=1, mode="nearest")
+        carrier = flat - baseline
+        rms = np.sqrt(
+            np.maximum(
+                ndimage.uniform_filter1d(carrier**2, size=period, axis=1, mode="nearest"),
+                0.0,
+            )
+        )
+        envelope = rms
+        means = np.maximum(flat.mean(axis=1), 1e-6)
+        weber = envelope / np.asarray(luminance_normalizer(means))[:, None]
+        slope = np.diff(weber, axis=1) * sample_rate
+        duration_s = n / sample_rate
+        energies = np.sum(slope**2, axis=1) / sample_rate / max(duration_s, 1e-9)
+        factor = beam_size_factor(self.pixel_size_px) * duty_cycle_factor(0.5)
+        energies = PHANTOM_GAIN * energies * factor * subject.sensitivity_gain**2
+        return energies.reshape(rows, cols)
+
+    @staticmethod
+    def score_from_energy(energy: float) -> float:
+        """Map perceptual energy onto the paper's 0-4 rating scale."""
+        if energy <= 0.0:
+            return 0.0
+        log_energy = np.log10(energy)
+        return float(
+            4.0
+            / (1.0 + np.exp(-SCORE_SLOPE_PER_DECADE * (log_energy - SCORE_MID_LOG10_ENERGY)))
+        )

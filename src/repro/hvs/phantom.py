@@ -1,0 +1,94 @@
+"""Phantom-array visibility.
+
+The phantom array effect (paper Section 2) makes temporal transitions
+visible during eye movements even when the steady carrier is far above
+CFF.  The cited studies find that lower flicker amplitude, larger duty
+cycle and larger beam size all reduce visibility; InFrame responds with
+(a) the smoothing envelope, which removes abrupt envelope edges, and
+(b) super Pixels of side ``p`` chosen near the eye's resolution limit.
+
+The model scores the *envelope* of the data modulation: during a saccade a
+temporal luminance step of Weber amplitude ``c`` lasting ``dt`` smears into
+a visible spatial edge, so visibility grows with the squared temporal
+derivative of the envelope.  Beam size enters as a resolution factor that
+falls once a super Pixel subtends more than about one arcminute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+
+#: Arcminutes subtended by one display pixel at 1.2x-diagonal viewing
+#: distance for a 24" 1080p panel (the paper's geometry).
+_ARCMIN_PER_PIXEL_REFERENCE = 1.28
+
+#: Saccade-speed scaling constant: converts squared Weber-slope energy
+#: into the same units as the steady flicker energy.
+PHANTOM_GAIN = 2.2e-7
+
+
+def beam_size_factor(pixel_size_px: int, arcmin_per_pixel: float = _ARCMIN_PER_PIXEL_REFERENCE) -> float:
+    """Visibility multiplier for a super Pixel of side *pixel_size_px*.
+
+    Close to 1 when the beam is below the eye's resolution (small
+    arcminute extent) and decaying once the beam is comfortably resolvable
+    -- the paper's user-study finding that ``p = 4`` is a good choice at
+    typical viewing distance corresponds to the knee of this curve.
+    """
+    check_positive(pixel_size_px, "pixel_size_px")
+    extent_arcmin = pixel_size_px * arcmin_per_pixel
+    # Visibility rolls off once the beam exceeds ~4 arcmin.
+    return float(1.0 / (1.0 + (extent_arcmin / 4.0) ** 2))
+
+
+def duty_cycle_factor(duty_cycle: float) -> float:
+    """Visibility multiplier for the modulation duty cycle in (0, 1].
+
+    Larger duty cycles (light on for most of the cycle) produce fainter
+    phantom arrays; the complementary-frame carrier has duty cycle 0.5.
+    """
+    if not (0.0 < duty_cycle <= 1.0):
+        raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+    return float(1.0 - 0.65 * duty_cycle)
+
+
+def phantom_array_energy(
+    envelope_luminance: np.ndarray,
+    sample_rate_hz: float,
+    mean_luminance: float,
+    pixel_size_px: int = 4,
+    duty_cycle: float = 0.5,
+    sensitivity_gain: float = 1.0,
+) -> float:
+    """Phantom-array energy of a data-modulation envelope.
+
+    Parameters
+    ----------
+    envelope_luminance:
+        The modulation-amplitude envelope in luminance units (cd/m^2),
+        uniformly sampled -- *not* the signed carrier; transitions between
+        data frames are what this effect sees.
+    sample_rate_hz:
+        Sampling rate of the envelope.
+    mean_luminance:
+        Adaptation luminance used for Weber normalisation.
+    pixel_size_px:
+        Super-Pixel side in display pixels (the "beam size").
+    duty_cycle:
+        Fraction of each cycle the modulated state is held.
+    """
+    check_positive(sample_rate_hz, "sample_rate_hz")
+    check_positive(mean_luminance, "mean_luminance")
+    from repro.hvs.temporal import luminance_normalizer
+
+    env = np.asarray(envelope_luminance, dtype=np.float64)
+    if env.ndim != 1 or env.size < 2:
+        raise ValueError(f"envelope must be 1-D with >= 2 samples, got shape {env.shape}")
+    weber = env / float(luminance_normalizer(mean_luminance))
+    slope = np.diff(weber) * sample_rate_hz
+    duration_s = env.size / sample_rate_hz
+    energy = float(np.sum(slope**2)) / sample_rate_hz / max(duration_s, 1e-9)
+    factor = beam_size_factor(pixel_size_px) * duty_cycle_factor(duty_cycle)
+    return PHANTOM_GAIN * energy * factor * float(sensitivity_gain) ** 2

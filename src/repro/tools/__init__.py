@@ -1,0 +1,12 @@
+"""Command-line tools.
+
+Each tool is runnable as a module::
+
+    python -m repro.tools.simulate --video gray --delta 20 --tau 12
+    python -m repro.tools.budget --brightness 127
+    python -m repro.tools.flicker --delta 30 --tau 12
+    python -m repro.tools.sweep --parameter tau --values 8 10 12 14 16
+
+They wrap the same experiment harness the benchmarks use, for quick
+interactive exploration without writing a script.
+"""

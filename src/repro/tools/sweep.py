@@ -1,0 +1,87 @@
+"""CLI: sweep one InFrame parameter and print its Figure-7 consequences.
+
+Example::
+
+    python -m repro.tools.sweep --parameter tau --values 8 10 12 14 16
+    python -m repro.tools.sweep --parameter amplitude --values 10 20 30 40 --video video
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.experiments import ExperimentScale
+from repro.analysis.reporting import format_table
+from repro.core.pipeline import run_link
+
+SWEEPABLE = {
+    "tau": int,
+    "amplitude": float,
+    "pixels_per_block": int,
+    "decision_margin": float,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.sweep",
+        description="Sweep one InFrame parameter over the simulated link.",
+    )
+    parser.add_argument(
+        "--parameter", choices=sorted(SWEEPABLE), required=True, help="config field to sweep"
+    )
+    parser.add_argument(
+        "--values", nargs="+", required=True, help="values to try (type-checked per field)"
+    )
+    parser.add_argument(
+        "--video", choices=("gray", "dark-gray", "video"), default="gray"
+    )
+    parser.add_argument(
+        "--scale", choices=("quick", "benchmark", "full"), default="benchmark"
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    caster = SWEEPABLE[args.parameter]
+    try:
+        values = [caster(v) for v in args.values]
+    except ValueError:
+        print(f"error: --values must be {caster.__name__}s for {args.parameter}")
+        return 2
+
+    scale = getattr(ExperimentScale, args.scale)()
+    camera = scale.camera()
+    video = scale.video(args.video)
+    rows = []
+    for value in values:
+        try:
+            config = scale.config().with_updates(**{args.parameter: value})
+        except ValueError as exc:
+            rows.append([value, f"invalid: {exc}", "", ""])
+            continue
+        stats = run_link(config, video, camera=camera, seed=args.seed).stats
+        rows.append(
+            [
+                value,
+                f"{stats.available_gob_ratio * 100:.1f}%",
+                f"{stats.gob_error_rate * 100:.1f}%",
+                f"{stats.throughput_kbps:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            [args.parameter, "avail", "err", "throughput kbps"],
+            rows,
+            title=f"Sweep of {args.parameter} on {args.video} content ({args.scale} scale)",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

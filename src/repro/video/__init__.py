@@ -1,0 +1,43 @@
+"""Video source substrate.
+
+The paper evaluates with a pure gray video (RGB 127), a pure "dark gray"
+video (RGB 180, values as printed in the paper) and a sun-rising clip.
+Those inputs are reproduced here as deterministic synthetic generators, plus
+extra content classes (noise, moving bars, gradients) used by the tests and
+ablations to stress luminance extremes, texture and motion.
+"""
+
+from repro.video.source import (
+    ArrayVideoSource,
+    ConstantVideoSource,
+    FunctionVideoSource,
+    VideoSource,
+)
+from repro.video.synthetic import (
+    checker_texture_video,
+    gradient_video,
+    moving_bars_video,
+    noise_video,
+    pure_color_video,
+    rgb_color_video,
+    rgb_sunrise_video,
+    sunrise_video,
+)
+from repro.video.io import load_clip, save_clip
+
+__all__ = [
+    "VideoSource",
+    "ArrayVideoSource",
+    "ConstantVideoSource",
+    "FunctionVideoSource",
+    "pure_color_video",
+    "gradient_video",
+    "noise_video",
+    "moving_bars_video",
+    "checker_texture_video",
+    "sunrise_video",
+    "rgb_color_video",
+    "rgb_sunrise_video",
+    "load_clip",
+    "save_clip",
+]

@@ -1,0 +1,40 @@
+"""Raw clip persistence.
+
+Clips are stored as compressed ``.npz`` archives holding the frame stack
+and frame rate -- no video codecs are available offline, and lossless
+storage keeps experiments bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.video.source import ArrayVideoSource, VideoSource
+
+_FORMAT_VERSION = 1
+
+
+def save_clip(path: str | os.PathLike, source: VideoSource) -> None:
+    """Write every frame of *source* to a compressed ``.npz`` archive."""
+    frames = np.stack(source.frames()).astype(np.float32)
+    np.savez_compressed(
+        os.fspath(path),
+        frames=frames,
+        fps=np.float64(source.fps),
+        version=np.int64(_FORMAT_VERSION),
+    )
+
+
+def load_clip(path: str | os.PathLike) -> ArrayVideoSource:
+    """Load a clip previously written by :func:`save_clip`."""
+    with np.load(os.fspath(path)) as archive:
+        if "frames" not in archive or "fps" not in archive:
+            raise ValueError(f"{path!s} is not a clip archive (missing frames/fps)")
+        version = int(archive["version"]) if "version" in archive else 0
+        if version > _FORMAT_VERSION:
+            raise ValueError(f"{path!s} uses clip format v{version}; this build reads <= v{_FORMAT_VERSION}")
+        frames = archive["frames"]
+        fps = float(archive["fps"])
+    return ArrayVideoSource(frames, fps=fps)

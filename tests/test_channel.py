@@ -1,0 +1,108 @@
+"""Screen->camera channel composition: impairments, link, budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.camera.capture import CameraModel
+from repro.channel.impairments import AmbientLight, ChannelImpairments
+from repro.channel.link import ScreenCameraLink
+from repro.core.framing import PseudoRandomSchedule
+from repro.core.multiplexer import MultiplexedStream
+from repro.display.panel import DisplayPanel
+from repro.video.synthetic import pure_color_video
+
+
+class TestAmbientLight:
+    def test_reflected_luminance_formula(self):
+        ambient = AmbientLight(illuminance_lux=400.0, panel_reflectance=0.04)
+        assert ambient.reflected_luminance == pytest.approx(400 * 0.04 / np.pi)
+
+    def test_dark_room(self):
+        assert AmbientLight(illuminance_lux=0.0).reflected_luminance == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AmbientLight(illuminance_lux=-1.0)
+
+
+class TestImpairments:
+    def test_luminance_pedestal(self):
+        impairments = ChannelImpairments(ambient=AmbientLight(400.0, 0.04))
+        lum = np.full((4, 4), 50.0, np.float32)
+        out = impairments.apply_luminance(lum)
+        assert float(out.mean()) > 50.0
+
+    def test_no_ambient_is_identity(self):
+        impairments = ChannelImpairments(ambient=AmbientLight(0.0))
+        lum = np.full((4, 4), 50.0, np.float32)
+        assert impairments.apply_luminance(lum) is lum
+
+    def test_extra_noise_applied(self):
+        impairments = ChannelImpairments(extra_noise_std=5.0)
+        pixels = np.full((32, 32), 100.0, np.float32)
+        out = impairments.apply_capture(pixels, np.random.default_rng(0))
+        assert out.std() > 2.0
+        assert out.min() >= 0 and out.max() <= 255
+
+    def test_extra_noise_skipped_without_rng(self):
+        impairments = ChannelImpairments(extra_noise_std=5.0)
+        pixels = np.full((4, 4), 100.0, np.float32)
+        assert impairments.apply_capture(pixels, None) is pixels
+
+
+@pytest.fixture
+def link(small_config, small_video):
+    panel = DisplayPanel(width=112, height=80, refresh_hz=120.0)
+    camera = CameraModel(width=75, height=54)
+    return ScreenCameraLink(panel, camera).auto_exposed()
+
+
+class TestScreenCameraLink:
+    def test_capture_count_default(self, link, small_config, small_video):
+        stream = MultiplexedStream(small_config, small_video, PseudoRandomSchedule(small_config))
+        timeline = link.timeline(stream)
+        captures = link.capture(timeline, rng=np.random.default_rng(0))
+        assert len(captures) == link.camera.frames_covering(timeline)
+
+    def test_short_stream_rejected(self, link, small_config):
+        video = pure_color_video(80, 112, 127.0, n_frames=1)
+        stream = MultiplexedStream(small_config, video, PseudoRandomSchedule(small_config))
+        with pytest.raises(ValueError):
+            link.capture(link.timeline(stream))
+
+    def test_ambient_raises_black_level(self, small_config, small_video):
+        panel = DisplayPanel(width=112, height=80)
+        camera = CameraModel(width=75, height=54)
+        dark = ScreenCameraLink(
+            panel, camera, ChannelImpairments(ambient=AmbientLight(0.0))
+        ).auto_exposed()
+        office = ScreenCameraLink(
+            panel, camera, ChannelImpairments(ambient=AmbientLight(3000.0, 0.05))
+        ).auto_exposed()
+        video = pure_color_video(80, 112, 0.0, n_frames=4)
+        stream = MultiplexedStream(small_config, video, PseudoRandomSchedule(small_config))
+        cap_dark = dark.capture(dark.timeline(stream), n_frames=1)[0]
+        cap_office = office.capture(office.timeline(stream), n_frames=1)[0]
+        assert float(cap_office.pixels.mean()) > float(cap_dark.pixels.mean()) + 2.0
+
+    def test_budget_fields(self, link):
+        budget = link.budget()
+        assert budget.counts_per_delta > 0
+        assert budget.noise_floor_counts > 0
+        assert budget.snr_at_delta_20 > 1.0
+        assert 0.0 <= budget.ambient_contrast_loss < 1.0
+
+    def test_budget_snr_improves_with_brighter_operating_point(self, link):
+        # Gamma slope grows with level, so one delta unit buys more counts.
+        mid = link.budget(operating_pixel_value=127.0)
+        bright = link.budget(operating_pixel_value=200.0)
+        assert bright.counts_per_delta > mid.counts_per_delta
+
+    def test_budget_ambient_loss_grows_with_lux(self, small_config):
+        panel = DisplayPanel(width=112, height=80)
+        camera = CameraModel(width=75, height=54)
+        quiet = ScreenCameraLink(panel, camera, ChannelImpairments(AmbientLight(10.0)))
+        loud = ScreenCameraLink(panel, camera, ChannelImpairments(AmbientLight(5000.0)))
+        assert loud.budget().ambient_contrast_loss > quiet.budget().ambient_contrast_loss

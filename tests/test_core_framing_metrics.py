@@ -1,0 +1,280 @@
+"""Framing layer (schedules, payload pipeline) and link metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import InFrameConfig
+from repro.core.decoder import DecodedDataFrame
+from repro.core.framing import (
+    FrameFormatError,
+    FramingPlan,
+    PayloadAssembler,
+    PayloadSchedule,
+    PseudoRandomSchedule,
+    ZeroSchedule,
+)
+from repro.core.metrics import compare_bits, gob_correct_mask, summarize_link
+from repro.core.parity import check_parity_grid
+
+
+def _decoded_from_grid(config, grid, index=0, available=None, parity_ok=None):
+    """Build a DecodedDataFrame as if the channel were perfect."""
+    gob_shape = (config.gob_rows, config.gob_cols)
+    available = np.ones(gob_shape, bool) if available is None else available
+    parity_ok = check_parity_grid(grid, config) if parity_ok is None else parity_ok
+    return DecodedDataFrame(
+        index=index,
+        bits=np.asarray(grid, bool),
+        confident=np.ones_like(np.asarray(grid, bool)),
+        gob_available=available,
+        gob_parity_ok=parity_ok,
+        noise_map=np.zeros_like(np.asarray(grid, float)),
+        threshold=0.0,
+        n_captures=3,
+    )
+
+
+class TestSchedules:
+    def test_zero_schedule(self, small_config):
+        schedule = ZeroSchedule(small_config)
+        assert not schedule.bits(0).any()
+        assert not schedule.bits(99).any()
+
+    def test_pseudo_random_deterministic(self, small_config):
+        a = PseudoRandomSchedule(small_config, seed=5)
+        b = PseudoRandomSchedule(small_config, seed=5)
+        assert np.array_equal(a.bits(3), b.bits(3))
+
+    def test_pseudo_random_differs_across_frames(self, small_config):
+        schedule = PseudoRandomSchedule(small_config)
+        assert not np.array_equal(schedule.bits(0), schedule.bits(1))
+
+    def test_pseudo_random_has_valid_parity(self, small_config):
+        schedule = PseudoRandomSchedule(small_config)
+        assert check_parity_grid(schedule.bits(7), small_config).all()
+
+    def test_pseudo_random_data_bits_consistent(self, small_config):
+        schedule = PseudoRandomSchedule(small_config, seed=9)
+        from repro.core.parity import grid_to_data_bits
+
+        assert np.array_equal(
+            grid_to_data_bits(schedule.bits(4), small_config), schedule.data_bits(4)
+        )
+
+    def test_negative_index_rejected(self, small_config):
+        with pytest.raises(IndexError):
+            PseudoRandomSchedule(small_config).bits(-1)
+
+
+class TestPayloadPipeline:
+    def test_roundtrip_clean(self, small_config):
+        payload = b"The quick brown fox jumps over the lazy dog."
+        schedule = PayloadSchedule(small_config, payload, rs_n=30, rs_k=20)
+        assembler = PayloadAssembler(small_config, schedule.plan)
+        for k in range(schedule.n_payload_frames):
+            assembler.add_frame(_decoded_from_grid(small_config, schedule.bits(k), index=k))
+        assert assembler.payload() == payload
+
+    def test_roundtrip_with_missing_gobs(self, small_config):
+        # 8% GOB loss amplifies to ~25% byte erasures (one byte spans 3-4
+        # GOBs); RS(30, 16) carries 47% parity, comfortably above that.
+        payload = bytes(range(64))
+        schedule = PayloadSchedule(small_config, payload, rs_n=30, rs_k=16)
+        assembler = PayloadAssembler(small_config, schedule.plan)
+        rng = np.random.default_rng(0)
+        for k in range(schedule.n_payload_frames):
+            available = rng.random((small_config.gob_rows, small_config.gob_cols)) > 0.08
+            assembler.add_frame(
+                _decoded_from_grid(small_config, schedule.bits(k), index=k, available=available)
+            )
+        assert assembler.payload() == payload
+
+    def test_retransmission_fills_gaps(self, small_config):
+        payload = bytes(range(48))
+        schedule = PayloadSchedule(small_config, payload, rs_n=30, rs_k=16)
+        assembler = PayloadAssembler(small_config, schedule.plan)
+        rng = np.random.default_rng(1)
+        n = schedule.n_payload_frames
+        # Three passes, each losing half the GOBs; the unknown set shrinks
+        # geometrically and RS absorbs the residue.
+        for k in range(3 * n):
+            available = rng.random((small_config.gob_rows, small_config.gob_cols)) > 0.5
+            assembler.add_frame(
+                _decoded_from_grid(
+                    small_config, schedule.bits(k), index=k, available=available
+                )
+            )
+        assert assembler.payload() == payload
+
+    def test_coverage_monotone(self, small_config):
+        payload = bytes(64)
+        schedule = PayloadSchedule(small_config, payload, rs_n=30, rs_k=20)
+        assembler = PayloadAssembler(small_config, schedule.plan)
+        before = assembler.coverage()
+        assembler.add_frame(_decoded_from_grid(small_config, schedule.bits(0), index=0))
+        assert assembler.coverage() > before
+
+    def test_total_loss_raises(self, small_config):
+        schedule = PayloadSchedule(small_config, b"data", rs_n=30, rs_k=20)
+        assembler = PayloadAssembler(small_config, schedule.plan)
+        with pytest.raises(FrameFormatError):
+            assembler.payload()
+
+    def test_corrupted_bits_within_rs_capacity_recovered(self, small_config):
+        payload = b"correctable payload"
+        schedule = PayloadSchedule(small_config, payload, rs_n=40, rs_k=20)
+        assembler = PayloadAssembler(small_config, schedule.plan)
+        for k in range(schedule.n_payload_frames):
+            grid = schedule.bits(k).copy()
+            if k == 0:
+                grid[0, 0] = ~grid[0, 0]  # silent corruption, parity forced OK
+            assembler.add_frame(
+                _decoded_from_grid(
+                    small_config,
+                    grid,
+                    index=k,
+                    parity_ok=np.ones((small_config.gob_rows, small_config.gob_cols), bool),
+                )
+            )
+        assert assembler.payload() == payload
+
+    def test_empty_payload_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            PayloadSchedule(small_config, b"")
+
+    def test_single_shot_schedule_bounds(self, small_config):
+        schedule = PayloadSchedule(small_config, b"x", repeat=False)
+        with pytest.raises(IndexError):
+            schedule.bits(schedule.n_payload_frames)
+
+    def test_plan_requires_codeword_count(self, small_config):
+        with pytest.raises(ValueError):
+            PayloadAssembler(small_config, FramingPlan(rs_n=30, rs_k=20, n_codewords=0))
+
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, payload):
+        config = InFrameConfig(
+            element_pixels=2, pixels_per_block=2, block_rows=4, block_cols=6, tau=12
+        )
+        schedule = PayloadSchedule(config, payload, rs_n=24, rs_k=16)
+        assembler = PayloadAssembler(config, schedule.plan)
+        for k in range(schedule.n_payload_frames):
+            assembler.add_frame(_decoded_from_grid(config, schedule.bits(k), index=k))
+        assert assembler.payload() == payload
+
+
+class TestMetrics:
+    def test_perfect_frame(self, small_config):
+        schedule = PseudoRandomSchedule(small_config)
+        grid = schedule.bits(0)
+        comparison = compare_bits(grid, _decoded_from_grid(small_config, grid), small_config)
+        assert comparison.bit_accuracy == 1.0
+        assert comparison.available_ratio == 1.0
+        assert comparison.gob_error_rate == 0.0
+
+    def test_gob_correct_mask_flags_wrong_gob(self, small_config):
+        schedule = PseudoRandomSchedule(small_config)
+        truth = schedule.bits(0)
+        wrong = truth.copy()
+        wrong[0, 0] = ~wrong[0, 0]
+        mask = gob_correct_mask(truth, _decoded_from_grid(small_config, wrong), small_config)
+        assert not mask[0, 0]
+        assert mask.sum() == mask.size - 1
+
+    def test_error_rate_counts_only_available(self, small_config):
+        schedule = PseudoRandomSchedule(small_config)
+        truth = schedule.bits(0)
+        wrong = truth.copy()
+        wrong[0, 0] = ~wrong[0, 0]
+        available = np.ones((small_config.gob_rows, small_config.gob_cols), bool)
+        available[0, 0] = False  # the wrong GOB was not available
+        comparison = compare_bits(
+            truth,
+            _decoded_from_grid(small_config, wrong, available=available),
+            small_config,
+        )
+        assert comparison.gob_error_rate == 0.0
+
+    def test_summarize_link_throughput_formula(self, small_config):
+        schedule = PseudoRandomSchedule(small_config)
+        grids = [schedule.bits(k) for k in range(3)]
+        decodeds = [_decoded_from_grid(small_config, g, index=k) for k, g in enumerate(grids)]
+        stats = summarize_link(grids, decodeds, small_config)
+        expected = small_config.bits_per_frame * small_config.data_frame_rate_hz
+        assert stats.throughput_bps == pytest.approx(expected)
+        assert stats.available_gob_ratio == 1.0
+        assert stats.gob_error_rate == 0.0
+
+    def test_summarize_empty_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            summarize_link([], [], small_config)
+
+    def test_summarize_length_mismatch(self, small_config):
+        schedule = PseudoRandomSchedule(small_config)
+        grid = schedule.bits(0)
+        with pytest.raises(ValueError):
+            summarize_link([grid], [], small_config)
+
+    def test_row_format(self, small_config):
+        schedule = PseudoRandomSchedule(small_config)
+        grid = schedule.bits(0)
+        stats = summarize_link([grid], [_decoded_from_grid(small_config, grid)], small_config)
+        row = stats.row()
+        assert "avail" in row and "kbps" in row
+
+
+class TestVotingAssembler:
+    def test_vote_outvotes_poisoned_pass(self, small_config):
+        # A GOB that passed parity with wrong bits in one pass must be
+        # washed out by two clean passes.
+        payload = bytes(range(32))
+        schedule = PayloadSchedule(small_config, payload, rs_n=30, rs_k=16)
+        assembler = PayloadAssembler(small_config, schedule.plan, combine="vote")
+        n = schedule.n_payload_frames
+        for k in range(3 * n):
+            grid = schedule.bits(k).copy()
+            if k < n:  # first pass: silently corrupt one GOB per frame
+                grid[0, 0] = ~grid[0, 0]
+                grid[0, 1] = ~grid[0, 1]  # double flip keeps XOR parity valid
+            assembler.add_frame(
+                _decoded_from_grid(
+                    small_config,
+                    grid,
+                    index=k,
+                    parity_ok=np.ones((small_config.gob_rows, small_config.gob_cols), bool),
+                )
+            )
+        assert assembler.payload() == payload
+
+    def test_first_mode_keeps_initial_reading(self, small_config):
+        payload = bytes(range(32))
+        schedule = PayloadSchedule(small_config, payload, rs_n=30, rs_k=16)
+        voter = PayloadAssembler(small_config, schedule.plan, combine="first")
+        clean = _decoded_from_grid(small_config, schedule.bits(0), index=0)
+        voter.add_frame(clean)
+        # A later conflicting frame must not overwrite the first reading.
+        wrong_grid = ~schedule.bits(0)
+        voter.add_frame(
+            _decoded_from_grid(
+                small_config,
+                wrong_grid,
+                index=0,
+                parity_ok=np.ones((small_config.gob_rows, small_config.gob_cols), bool),
+            )
+        )
+        from repro.core.parity import grid_to_data_bits
+
+        start_bits = voter._bits[: small_config.bits_per_frame]
+        assert np.array_equal(
+            start_bits, grid_to_data_bits(schedule.bits(0), small_config)
+        )
+
+    def test_unknown_combine_rejected(self, small_config):
+        schedule = PayloadSchedule(small_config, b"x", rs_n=30, rs_k=16)
+        with pytest.raises(ValueError):
+            PayloadAssembler(small_config, schedule.plan, combine="median")

@@ -1,0 +1,98 @@
+"""CRC-16 and block interleaver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.crc import crc16, crc16_append, crc16_bytes, crc16_verify
+from repro.ecc.interleaver import BlockInterleaver
+
+
+class TestCRC:
+    def test_known_check_value(self):
+        # CRC-16/CCITT-FALSE check value for "123456789".
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16(b"") == 0xFFFF  # the initial value, by definition
+
+    def test_append_and_verify(self):
+        assert crc16_verify(crc16_append(b"payload"))
+
+    def test_verify_rejects_corruption(self):
+        buf = bytearray(crc16_append(b"payload"))
+        buf[0] ^= 0x01
+        assert not crc16_verify(bytes(buf))
+
+    def test_verify_rejects_short_input(self):
+        assert not crc16_verify(b"\x00")
+
+    def test_crc_bytes_is_big_endian(self):
+        assert crc16_bytes(b"123456789") == b"\x29\xb1"
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, data):
+        assert crc16_verify(crc16_append(data))
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=100)
+    def test_single_bit_flip_always_detected(self, data, bit):
+        buf = bytearray(crc16_append(data))
+        buf[0] ^= 1 << bit
+        assert not crc16_verify(bytes(buf))
+
+
+class TestInterleaver:
+    def test_known_permutation(self):
+        il = BlockInterleaver(2, 3)
+        assert il.interleave(b"abcdef") == b"adbecf"
+
+    def test_roundtrip(self):
+        il = BlockInterleaver(7, 13)
+        data = bytes(range(91))
+        assert il.deinterleave(il.interleave(data)) == data
+
+    def test_size_mismatch_rejected(self):
+        il = BlockInterleaver(2, 3)
+        with pytest.raises(ValueError):
+            il.interleave(b"abcde")
+        with pytest.raises(ValueError):
+            il.deinterleave(b"abcde")
+
+    def test_position_maps_match_data_permutation(self):
+        il = BlockInterleaver(3, 5)
+        data = bytes(range(15))
+        permuted = il.interleave(data)
+        for original_index in range(15):
+            [forward] = il.interleave_positions([original_index])
+            assert permuted[forward] == data[original_index]
+            [back] = il.deinterleave_positions([forward])
+            assert back == original_index
+
+    def test_position_out_of_range(self):
+        il = BlockInterleaver(2, 2)
+        with pytest.raises(ValueError):
+            il.interleave_positions([4])
+
+    def test_burst_spreads_across_rows(self):
+        # A contiguous burst in the interleaved stream must hit distinct
+        # codewords (rows): that is the whole point of interleaving.
+        il = BlockInterleaver(rows=4, cols=8)
+        burst = list(range(4))  # 4 consecutive post-interleave positions
+        original = il.deinterleave_positions(burst)
+        rows_hit = {pos // 8 for pos in original}
+        assert len(rows_hit) == 4
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.randoms(),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, rows, cols, rnd):
+        il = BlockInterleaver(rows, cols)
+        data = bytes(rnd.randrange(256) for _ in range(rows * cols))
+        assert il.deinterleave(il.interleave(data)) == data

@@ -1,0 +1,168 @@
+"""Extended Hamming (8,4) and the Hamming-coded GOB mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import InFrameConfig
+from repro.core.parity import (
+    check_parity_grid,
+    data_bits_to_grid,
+    decode_gob_grid,
+    grid_to_data_bits,
+)
+from repro.ecc.hamming import (
+    CORRECTED,
+    DOUBLE_ERROR,
+    OK,
+    decode_hamming84,
+    encode_block,
+    encode_hamming84,
+)
+
+NIBBLES = st.lists(st.booleans(), min_size=4, max_size=4)
+
+
+class TestHamming84:
+    @given(NIBBLES)
+    def test_clean_roundtrip(self, nibble):
+        word = encode_hamming84(np.array(nibble))
+        decoded, verdict = decode_hamming84(word)
+        assert verdict == OK
+        assert np.array_equal(decoded, np.array(nibble))
+
+    @given(NIBBLES, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=128)
+    def test_every_single_error_corrected(self, nibble, position):
+        word = encode_hamming84(np.array(nibble))
+        word[position] = ~word[position]
+        decoded, verdict = decode_hamming84(word)
+        assert verdict == CORRECTED
+        assert np.array_equal(decoded, np.array(nibble))
+
+    @given(
+        NIBBLES,
+        st.tuples(
+            st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+        ).filter(lambda t: t[0] != t[1]),
+    )
+    @settings(max_examples=128)
+    def test_every_double_error_detected(self, nibble, positions):
+        word = encode_hamming84(np.array(nibble))
+        for position in positions:
+            word[position] = ~word[position]
+        _, verdict = decode_hamming84(word)
+        assert verdict == DOUBLE_ERROR
+
+    def test_all_codewords_distinct_distance_4(self):
+        words = encode_block(
+            np.array([[bool(n & 8), bool(n & 4), bool(n & 2), bool(n & 1)] for n in range(16)])
+        )
+        for i in range(16):
+            for j in range(i + 1, 16):
+                distance = int(np.sum(words[i] != words[j]))
+                assert distance >= 4
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            encode_hamming84(np.ones(3, bool))
+        with pytest.raises(ValueError):
+            decode_hamming84(np.ones(7, bool))
+        with pytest.raises(ValueError):
+            encode_block(np.ones((2, 3), bool))
+
+
+@pytest.fixture
+def hamming_config() -> InFrameConfig:
+    return InFrameConfig(
+        element_pixels=2,
+        pixels_per_block=3,
+        gob_size=3,
+        block_rows=9,
+        block_cols=12,
+        tau=12,
+        gob_code="hamming84",
+    )
+
+
+class TestHammingGOBMode:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            InFrameConfig(gob_code="hamming84")  # gob_size 2
+        with pytest.raises(ValueError):
+            InFrameConfig(gob_code="turbo")
+
+    def test_bit_budget(self, hamming_config):
+        assert hamming_config.bits_per_gob == 4
+        assert hamming_config.bits_per_frame == hamming_config.n_gobs * 4
+
+    def test_grid_roundtrip(self, hamming_config):
+        rng = np.random.default_rng(0)
+        bits = rng.random(hamming_config.bits_per_frame) < 0.5
+        grid = data_bits_to_grid(bits, hamming_config)
+        assert np.array_equal(grid_to_data_bits(grid, hamming_config), bits)
+        assert check_parity_grid(grid, hamming_config).all()
+
+    def test_spare_block_is_zero(self, hamming_config):
+        rng = np.random.default_rng(1)
+        bits = rng.random(hamming_config.bits_per_frame) < 0.5
+        grid = data_bits_to_grid(bits, hamming_config)
+        # Bottom-right Block of every 3x3 GOB is the unused spare.
+        assert not grid[2::3, 2::3].any()
+
+    def test_single_block_error_repaired(self, hamming_config):
+        rng = np.random.default_rng(2)
+        bits = rng.random(hamming_config.bits_per_frame) < 0.5
+        grid = data_bits_to_grid(bits, hamming_config)
+        corrupted = grid.copy()
+        corrupted[0, 1] = ~corrupted[0, 1]
+        repaired, ok, n_corrected = decode_gob_grid(corrupted, hamming_config)
+        assert ok.all()
+        assert n_corrected == 1
+        assert np.array_equal(repaired, grid)
+        assert np.array_equal(grid_to_data_bits(corrupted, hamming_config), bits)
+
+    def test_double_block_error_detected(self, hamming_config):
+        rng = np.random.default_rng(3)
+        bits = rng.random(hamming_config.bits_per_frame) < 0.5
+        grid = data_bits_to_grid(bits, hamming_config)
+        corrupted = grid.copy()
+        corrupted[0, 0] = ~corrupted[0, 0]
+        corrupted[1, 1] = ~corrupted[1, 1]
+        _, ok, _ = decode_gob_grid(corrupted, hamming_config)
+        assert not ok[0, 0]
+        assert ok.sum() == ok.size - 1
+
+    def test_xor_mode_decode_gob_grid_is_checking_only(self, small_config):
+        rng = np.random.default_rng(4)
+        bits = rng.random(small_config.bits_per_frame) < 0.5
+        grid = data_bits_to_grid(bits, small_config)
+        corrupted = grid.copy()
+        corrupted[0, 0] = ~corrupted[0, 0]
+        repaired, ok, n_corrected = decode_gob_grid(corrupted, small_config)
+        assert n_corrected == 0
+        assert np.array_equal(repaired, corrupted)  # XOR cannot repair
+        assert not ok[0, 0]
+
+    def test_end_to_end_link_with_hamming(self):
+        from repro.camera.capture import CameraModel
+        from repro.core.pipeline import run_link
+        from repro.video.synthetic import pure_color_video
+
+        config = InFrameConfig(
+            element_pixels=4,
+            pixels_per_block=3,
+            gob_size=3,
+            block_rows=15,
+            block_cols=24,
+            tau=12,
+            gob_code="hamming84",
+        )
+        video = pure_color_video(240, 360, 127.0, n_frames=24)
+        camera = CameraModel(width=240, height=160)
+        stats = run_link(config, video, camera=camera, seed=3).stats
+        assert stats.bit_accuracy > 0.9
+        assert stats.available_gob_ratio > 0.7

@@ -1,0 +1,273 @@
+"""Human-vision substrate: CFF, temporal filtering, phantom array, scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import InFrameConfig
+from repro.core.pipeline import InFrameSender
+from repro.display.panel import DisplayPanel
+from repro.display.scheduler import DisplayTimeline
+from repro.hvs.cff import CFF_RANGE_HZ, critical_flicker_frequency
+from repro.hvs.flicker import FlickerPredictor, SubjectProfile
+from repro.hvs.perception import perceived_frame, perception_artifacts
+from repro.hvs.phantom import beam_size_factor, duty_cycle_factor, phantom_array_energy
+from repro.hvs.temporal import (
+    flicker_spectrum,
+    luminance_normalizer,
+    perceived_flicker_energy,
+    sensitivity_weight,
+)
+from repro.video.source import ArrayVideoSource
+from repro.video.synthetic import pure_color_video
+
+
+class TestCFF:
+    def test_in_literature_range_at_office_luminance(self):
+        cff = critical_flicker_frequency(100.0)
+        assert 40.0 <= cff <= 50.0
+
+    def test_ferry_porter_monotone(self):
+        assert critical_flicker_frequency(200.0) > critical_flicker_frequency(20.0)
+
+    def test_clamped_at_extremes(self):
+        lo, hi = CFF_RANGE_HZ
+        assert critical_flicker_frequency(1e-9) == lo
+        assert critical_flicker_frequency(1e12) == hi
+
+    def test_subject_offset_applied(self):
+        base = critical_flicker_frequency(100.0)
+        assert critical_flicker_frequency(100.0, offset_hz=3.0) == pytest.approx(base + 3.0)
+
+    def test_vectorised(self):
+        out = critical_flicker_frequency(np.array([10.0, 100.0]))
+        assert out.shape == (2,)
+        assert out[1] > out[0]
+
+
+class TestSpectrum:
+    def test_pure_tone_recovered(self):
+        fs = 480.0
+        t = np.arange(480) / fs
+        wave = 100.0 + 7.0 * np.sin(2 * np.pi * 30.0 * t)
+        freqs, amps = flicker_spectrum(wave, fs)
+        peak = freqs[np.argmax(amps)]
+        assert peak == pytest.approx(30.0, abs=1.5)
+        assert amps.max() == pytest.approx(7.0, rel=0.1)
+
+    def test_dc_excluded(self):
+        wave = np.full(64, 100.0)
+        _, amps = flicker_spectrum(wave, 480.0)
+        assert np.all(amps < 1e-9)
+
+    def test_rejects_short_waveform(self):
+        with pytest.raises(ValueError):
+            flicker_spectrum(np.ones(3), 480.0)
+
+
+class TestSensitivityWeight:
+    def test_passband_near_unity(self):
+        weight = sensitivity_weight(np.array([8.0]), 100.0)
+        assert weight[0] > 0.8
+
+    def test_above_cff_attenuated(self):
+        weight = sensitivity_weight(np.array([60.0]), 100.0)
+        assert weight[0] < 0.05
+
+    def test_very_low_frequency_attenuated(self):
+        low = sensitivity_weight(np.array([0.2]), 100.0)
+        mid = sensitivity_weight(np.array([8.0]), 100.0)
+        assert low[0] < mid[0]
+
+    def test_brightness_raises_cff_tail(self):
+        dim = sensitivity_weight(np.array([45.0]), 5.0)
+        bright = sensitivity_weight(np.array([45.0]), 300.0)
+        assert bright[0] > dim[0]
+
+
+class TestFlickerEnergy:
+    def test_fused_carrier_scores_near_zero(self):
+        fs = 480.0
+        t = np.arange(480) / fs
+        fused = 100.0 + 10.0 * np.sign(np.sin(2 * np.pi * 60.0 * t))
+        visible = 100.0 + 10.0 * np.sign(np.sin(2 * np.pi * 15.0 * t))
+        assert perceived_flicker_energy(fused, fs) < 0.01 * perceived_flicker_energy(
+            visible, fs
+        )
+
+    def test_energy_scales_with_amplitude_squared(self):
+        fs = 480.0
+        t = np.arange(480) / fs
+        small = 100.0 + 2.0 * np.sin(2 * np.pi * 15.0 * t)
+        large = 100.0 + 8.0 * np.sin(2 * np.pi * 15.0 * t)
+        ratio = perceived_flicker_energy(large, fs) / perceived_flicker_energy(small, fs)
+        assert ratio == pytest.approx(16.0, rel=0.15)
+
+    def test_subject_gain(self):
+        fs = 480.0
+        t = np.arange(480) / fs
+        wave = 100.0 + 5.0 * np.sin(2 * np.pi * 15.0 * t)
+        base = perceived_flicker_energy(wave, fs)
+        boosted = perceived_flicker_energy(wave, fs, sensitivity_gain=2.0)
+        assert boosted == pytest.approx(4.0 * base, rel=1e-6)
+
+    def test_zero_luminance_returns_zero(self):
+        assert perceived_flicker_energy(np.zeros(64), 480.0) == 0.0
+
+    def test_normalizer_reference_point(self):
+        assert float(luminance_normalizer(100.0)) == pytest.approx(100.0)
+
+    def test_normalizer_sublinear(self):
+        ratio = float(luminance_normalizer(400.0)) / float(luminance_normalizer(100.0))
+        assert 1.0 < ratio < 4.0
+
+
+class TestPhantom:
+    def test_beam_factor_decreases_with_size(self):
+        assert beam_size_factor(1) > beam_size_factor(4) > beam_size_factor(16)
+
+    def test_duty_cycle_factor_decreases(self):
+        assert duty_cycle_factor(0.1) > duty_cycle_factor(0.9)
+
+    def test_sharp_transition_scores_higher_than_smooth(self):
+        fs = 480.0
+        n = 480
+        sharp = np.zeros(n)
+        sharp[n // 2 :] = 5.0
+        smooth = 5.0 / (1 + np.exp(-(np.arange(n) - n / 2) / 20.0))
+        e_sharp = phantom_array_energy(sharp, fs, 100.0)
+        e_smooth = phantom_array_energy(smooth, fs, 100.0)
+        assert e_sharp > 3.0 * e_smooth
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ValueError):
+            duty_cycle_factor(0.0)
+
+    def test_rejects_short_envelope(self):
+        with pytest.raises(ValueError):
+            phantom_array_energy(np.ones(1), 480.0, 100.0)
+
+
+def _stimulus(delta, tau=12, value=127.0):
+    config = InFrameConfig(
+        element_pixels=2, pixels_per_block=4, block_rows=8, block_cols=12,
+        amplitude=delta, tau=tau,
+    )
+    video = pure_color_video(80, 112, value, n_frames=15)
+    return InFrameSender(config, video).timeline()
+
+
+class TestFlickerPredictor:
+    def test_zero_modulation_scores_zero(self):
+        predictor = FlickerPredictor(grid=(8, 12))
+        report = predictor.report(_stimulus(0.0), duration_s=0.25)
+        assert report.score < 0.2
+
+    def test_score_monotone_in_amplitude(self):
+        predictor = FlickerPredictor(grid=(8, 12))
+        scores = [
+            predictor.report(_stimulus(d), duration_s=0.25).score for d in (10.0, 30.0, 60.0)
+        ]
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_longer_tau_scores_lower(self):
+        predictor = FlickerPredictor(grid=(8, 12))
+        fast = predictor.report(_stimulus(30.0, tau=8), duration_s=0.4).score
+        slow = predictor.report(_stimulus(30.0, tau=20), duration_s=0.4).score
+        assert slow < fast
+
+    def test_sensitive_subject_scores_higher(self):
+        predictor = FlickerPredictor(grid=(8, 12))
+        normal = predictor.report(_stimulus(30.0), duration_s=0.25).score
+        keen = predictor.report(
+            _stimulus(30.0), duration_s=0.25, subject=SubjectProfile(sensitivity_gain=2.0)
+        ).score
+        assert keen > normal
+
+    def test_report_fields(self):
+        predictor = FlickerPredictor(grid=(8, 12))
+        report = predictor.report(_stimulus(20.0), duration_s=0.25)
+        assert 0.0 <= report.score <= 4.0
+        assert report.region_energies.shape == (8, 12)
+        assert report.total_energy == pytest.approx(
+            report.flicker_energy + report.phantom_energy
+        )
+
+    def test_waveform_grid_mismatch_rejected(self):
+        predictor = FlickerPredictor(grid=(4, 4))
+        with pytest.raises(ValueError):
+            predictor.report_from_waveforms(np.zeros((2, 2, 64)), 480.0, 60.0)
+
+    @given(st.floats(min_value=1e-8, max_value=10.0))
+    @settings(max_examples=30)
+    def test_score_range_property(self, energy):
+        score = FlickerPredictor.score_from_energy(energy)
+        assert 0.0 <= score <= 4.0
+
+    def test_score_monotone_in_energy(self):
+        energies = np.logspace(-6, 0, 12)
+        scores = [FlickerPredictor.score_from_energy(e) for e in energies]
+        assert all(a <= b for a, b in zip(scores, scores[1:]))
+
+    def test_envelope_estimator_recovers_square_amplitude(self):
+        fs = 480.0
+        t = np.arange(960) / fs
+        carrier = 8.0 * np.sign(np.sin(2 * np.pi * 60.0 * t))
+        wave = 100.0 + carrier
+        envelope = FlickerPredictor.estimate_envelope(wave, fs, 60.0)
+        middle = envelope[200:-200]
+        # The carrier is square: RMS equals the amplitude.
+        assert float(np.median(middle)) == pytest.approx(8.0, rel=0.2)
+
+
+class TestPerception:
+    def test_complementary_stream_fuses_to_video(self):
+        # At the paper's delta = 20 the perceived field matches the plain
+        # video to within a few percent Weber.  The residual is physical:
+        # complementarity holds in pixel values, and the display gamma's
+        # convexity leaves a small static DC brightening of 1-Blocks
+        # (~ gamma curvature * delta^2), present in the paper's design too.
+        timeline = _stimulus(20.0)
+        video_frame = pure_color_video(80, 112, 127.0, n_frames=1).frame(0)
+        metrics = perception_artifacts(timeline, video_frame, t=0.15)
+        assert metrics["max_weber"] < 0.06
+        assert metrics["psnr_db"] > 30.0
+
+    def test_gamma_convexity_residual_grows_with_amplitude(self):
+        video_frame = pure_color_video(80, 112, 127.0, n_frames=1).frame(0)
+        small = perception_artifacts(_stimulus(10.0), video_frame, t=0.15)
+        large = perception_artifacts(_stimulus(40.0), video_frame, t=0.15)
+        # DC residual scales like delta^2 (second-order gamma term).
+        assert large["max_error"] > 8.0 * small["max_error"]
+
+    def test_naive_stream_leaves_artifacts(self):
+        # Non-complementary modulation: + every frame.
+        config = InFrameConfig(
+            element_pixels=2, pixels_per_block=4, block_rows=8, block_cols=12,
+            amplitude=40.0, tau=12,
+        )
+        video = pure_color_video(80, 112, 127.0, n_frames=15)
+        sender = InFrameSender(config, video)
+
+        class AlwaysPlus:
+            n_frames = sender.stream.n_frames
+
+            def frame(self, i):
+                return sender.stream.frame(2 * (i // 2))  # always the + frame
+
+        timeline = DisplayTimeline(sender.panel, AlwaysPlus())
+        metrics = perception_artifacts(timeline, video.frame(0), t=0.15)
+        assert metrics["max_weber"] > 0.1
+
+    def test_perceived_frame_shape(self):
+        timeline = _stimulus(20.0)
+        frame = perceived_frame(timeline, 0.1)
+        assert frame.shape == (80, 112)
+
+    def test_shape_mismatch_rejected(self):
+        timeline = _stimulus(20.0)
+        with pytest.raises(ValueError):
+            perception_artifacts(timeline, np.zeros((4, 4)), t=0.1)

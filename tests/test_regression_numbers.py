@@ -1,0 +1,79 @@
+"""Regression pins: the reproduction's key numbers, with loose bounds.
+
+These tests guard the calibrated behaviour against accidental drift when
+modules are edited.  Bounds are deliberately loose (the exact values live
+in EXPERIMENTS.md); a failure here means the *character* of a result
+changed, not a tenth of a kbps.
+
+Everything runs at the quick scale to stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentScale, flicker_timeline
+from repro.analysis.userstudy import SimulatedPanel
+from repro.core.pipeline import run_link
+from repro.hvs.flicker import FlickerPredictor
+
+
+@pytest.fixture(scope="module")
+def quick():
+    return ExperimentScale.quick()
+
+
+@pytest.fixture(scope="module")
+def gray_stats(quick):
+    config = quick.config(amplitude=20.0, tau=12)
+    return run_link(config, quick.video("gray"), camera=quick.camera(), seed=1).stats
+
+
+@pytest.fixture(scope="module")
+def video_stats(quick):
+    config = quick.config(amplitude=20.0, tau=12)
+    return run_link(config, quick.video("video"), camera=quick.camera(), seed=1).stats
+
+
+class TestChannelRegression:
+    def test_gray_channel_band(self, gray_stats):
+        # Paper band: ~10.5 kbps at tau=12 on pure gray.
+        assert 8.0 < gray_stats.throughput_kbps < 12.5
+        assert gray_stats.available_gob_ratio > 0.85
+        assert gray_stats.gob_error_rate < 0.08
+
+    def test_video_clearly_harder_than_gray(self, gray_stats, video_stats):
+        assert video_stats.throughput_kbps < gray_stats.throughput_kbps
+        assert video_stats.gob_error_rate > gray_stats.gob_error_rate
+
+    def test_rate_scales_inversely_with_tau(self, quick):
+        fast = run_link(
+            quick.config(amplitude=20.0, tau=10), quick.video("gray"),
+            camera=quick.camera(), seed=1,
+        ).stats
+        slow = run_link(
+            quick.config(amplitude=20.0, tau=14), quick.video("gray"),
+            camera=quick.camera(), seed=1,
+        ).stats
+        assert fast.throughput_kbps > slow.throughput_kbps
+
+
+class TestPerceptionRegression:
+    def test_paper_operating_point_imperceptible(self):
+        report = FlickerPredictor().report(
+            flicker_timeline(20.0, 12, 127.0, n_video_frames=10), duration_s=0.3
+        )
+        assert report.score < 1.0
+
+    def test_large_amplitude_visible(self):
+        report = FlickerPredictor().report(
+            flicker_timeline(50.0, 12, 127.0, n_video_frames=10), duration_s=0.3
+        )
+        assert 1.0 < report.score < 2.7
+
+    def test_panel_statistics_stable(self):
+        result = SimulatedPanel().study(
+            flicker_timeline(20.0, 12, 127.0, n_video_frames=10), duration_s=0.3
+        )
+        assert result.mean_score < 1.0
+        assert result.std_score < 1.0

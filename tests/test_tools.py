@@ -1,0 +1,89 @@
+"""Command-line tools: argument handling and end-to-end invocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools import budget, flicker, simulate, sweep
+
+
+class TestSimulateCLI:
+    def test_runs_quick_scale(self, capsys):
+        code = simulate.main(["--video", "gray", "--scale", "quick", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput" in out
+        assert "bits/frame" in out
+
+    def test_rejects_unknown_video(self):
+        with pytest.raises(SystemExit):
+            simulate.main(["--video", "cats"])
+
+    def test_screen_fill_flag(self, capsys):
+        code = simulate.main(
+            ["--video", "gray", "--scale", "quick", "--screen-fill", "0.8"]
+        )
+        assert code == 0
+        assert "fill=0.8" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = simulate.build_parser().parse_args([])
+        assert args.video == "gray"
+        assert args.tau == 12
+
+
+class TestBudgetCLI:
+    def test_prints_budget(self, capsys):
+        code = budget.main(["--brightness", "127"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SNR at delta=20" in out
+        assert "verdict" in out
+
+    def test_dim_operating_point_still_valid(self, capsys):
+        assert budget.main(["--brightness", "30"]) == 0
+
+    def test_high_ambient_reported(self, capsys):
+        budget.main(["--lux", "5000"])
+        out = capsys.readouterr().out
+        assert "ambient contrast loss" in out
+
+
+class TestFlickerCLI:
+    def test_satisfactory_at_paper_point(self, capsys):
+        code = flicker.main(["--delta", "20", "--duration", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "satisfactory" in out
+
+    def test_panel_size_flag(self, capsys):
+        flicker.main(["--delta", "20", "--duration", "0.2", "--subjects", "4"])
+        out = capsys.readouterr().out
+        assert "(4 subjects)" in out
+
+
+class TestSweepCLI:
+    def test_tau_sweep(self, capsys):
+        code = sweep.main(
+            ["--parameter", "tau", "--values", "10", "12", "--scale", "quick"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep of tau" in out
+        assert "10" in out and "12" in out
+
+    def test_invalid_value_type(self, capsys):
+        code = sweep.main(["--parameter", "tau", "--values", "banana"])
+        assert code == 2
+
+    def test_invalid_config_value_reported_in_table(self, capsys):
+        code = sweep.main(
+            ["--parameter", "tau", "--values", "11", "--scale", "quick"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invalid" in out
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(SystemExit):
+            sweep.main(["--parameter", "nonsense", "--values", "1"])

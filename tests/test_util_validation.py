@@ -1,0 +1,98 @@
+"""Validation helpers in repro._util."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    check_fraction,
+    check_frame,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("inf"), float("nan")])
+    def test_rejects_non_positive_and_non_finite(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1, "n") == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "n")
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "n") == 5
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.01, "x", 0.0, 1.0)
+
+    def test_fraction_alias(self):
+        assert check_fraction(0.5, "f") == 0.5
+        with pytest.raises(ValueError):
+            check_fraction(-0.1, "f")
+
+
+class TestCheckFrame:
+    def test_accepts_grayscale(self):
+        frame = check_frame(np.zeros((4, 4)))
+        assert frame.dtype == np.float32
+
+    def test_accepts_color(self):
+        assert check_frame(np.zeros((4, 4, 3))).shape == (4, 4, 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_frame(np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_frame(np.zeros((0, 4)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_frame(np.full((2, 2), 256.0))
+        with pytest.raises(ValueError):
+            check_frame(np.full((2, 2), -1.0))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_frame(np.full((2, 2), np.nan))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_frame(np.full((2, 2), "x"))
+
+    def test_float_rounding_tolerance(self):
+        # Values a hair outside [0, 255] from float arithmetic are fine.
+        assert check_frame(np.full((2, 2), 255.0005)).max() > 255.0 - 1
