@@ -22,8 +22,10 @@ The payload pipeline (sender):
 The receiver reverses the pipeline, converting unavailable GOBs into byte
 erasures for the RS decoder -- the receiver shares the sender's
 :class:`FramingPlan` out of band, the way a channel profile would be
-provisioned (a production header codeword is future work, as is the
-paper's "more sophisticated error correction ... for larger GOB").
+provisioned.  For a sessionful channel with self-describing headers (no
+out-of-band plan), rateless coding and retransmission, see
+:mod:`repro.transport`, which reuses this module's bit-grid slicing via
+:func:`slice_bits_to_frames` and :func:`decoded_frame_bits`.
 
 Erasure amplification: a GOB carries 3 bits, so one message byte spans 3-4
 GOBs and a GOB-loss rate ``p`` becomes a byte-erasure rate of roughly
@@ -49,6 +51,44 @@ from repro.ecc.reed_solomon import ReedSolomonCodec, RSDecodingError
 
 class FrameFormatError(ValueError):
     """Raised when a received payload fails structural or integrity checks."""
+
+
+# ----------------------------------------------------------------------
+# Bit-grid slicing (shared by the payload pipeline and repro.transport)
+# ----------------------------------------------------------------------
+def slice_bits_to_frames(bits: np.ndarray, config: InFrameConfig) -> np.ndarray:
+    """Slice a flat bit vector into per-data-frame rows (zero-padded).
+
+    Returns a ``(n_frames, bits_per_frame)`` boolean array; the last row
+    is padded with zeros.  This is the sender-side slicing both
+    :class:`PayloadSchedule` and the transport packetizer use before
+    laying each row on the Block grid with :func:`data_bits_to_grid`.
+    """
+    bits = np.asarray(bits).ravel().astype(np.uint8)
+    per_frame = config.bits_per_frame
+    n_frames = max(1, (bits.size + per_frame - 1) // per_frame)
+    padded = np.zeros(n_frames * per_frame, dtype=np.uint8)
+    padded[: bits.size] = bits
+    return padded.reshape(n_frames, per_frame).astype(bool)
+
+
+def decoded_frame_bits(
+    decoded: DecodedDataFrame, config: InFrameConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract one decoded frame's data bits and their known-mask.
+
+    Returns ``(bits, known)``, both of length ``config.bits_per_frame``.
+    A bit is *known* when its GOB was available and its GOB code checked
+    out; everything else must be treated as an erasure.  This is the
+    receiver-side inverse of :func:`slice_bits_to_frames`, shared by
+    :class:`PayloadAssembler` and the transport frame codec.
+    """
+    bits = grid_to_data_bits(decoded.bits, config)
+    gob_ok = decoded.gob_available & decoded.gob_parity_ok
+    m = config.gob_size
+    block_mask = np.kron(gob_ok, np.ones((m, m), dtype=bool))
+    known = grid_to_data_bits(block_mask, config)
+    return bits, known
 
 
 class ZeroSchedule:
@@ -139,11 +179,7 @@ class PayloadSchedule:
         interleaver = BlockInterleaver(len(codewords), rs_n)
         message = interleaver.interleave(b"".join(codewords))
         bits = np.unpackbits(np.frombuffer(message, dtype=np.uint8))
-        per_frame = config.bits_per_frame
-        n_frames = (bits.size + per_frame - 1) // per_frame
-        padded = np.zeros(n_frames * per_frame, dtype=np.uint8)
-        padded[: bits.size] = bits
-        self._frame_bits = padded.reshape(n_frames, per_frame).astype(bool)
+        self._frame_bits = slice_bits_to_frames(bits, config)
 
     @property
     def n_payload_frames(self) -> int:
@@ -207,11 +243,7 @@ class PayloadAssembler:
     def add_frame(self, decoded: DecodedDataFrame) -> None:
         """Merge one decoded data frame's available GOBs into the message."""
         slot = decoded.index % self.n_payload_frames
-        frame_bits = grid_to_data_bits(decoded.bits, self.config)
-        frame_known = grid_to_data_bits(
-            self._expand_gob_mask(decoded.gob_available & decoded.gob_parity_ok),
-            self.config,
-        )
+        frame_bits, frame_known = decoded_frame_bits(decoded, self.config)
         start = slot * self.config.bits_per_frame
         stop = start + self.config.bits_per_frame
         if self.combine == "vote":
@@ -271,8 +303,3 @@ class PayloadAssembler:
         if not crc16_verify(payload_with_crc):
             raise FrameFormatError("payload CRC mismatch after RS decoding")
         return payload_with_crc[:-2]
-
-    def _expand_gob_mask(self, gob_mask: np.ndarray) -> np.ndarray:
-        """Expand a per-GOB mask to the Block grid."""
-        m = self.config.gob_size
-        return np.kron(gob_mask, np.ones((m, m), dtype=bool))

@@ -1,10 +1,15 @@
-"""End-to-end API: sender, receiver, and the one-call link runner.
+"""End-to-end API: sender, receiver, and the one-call link runners.
 
 :class:`InFrameSender` wires a video source and a data schedule into a
 playable display timeline; :class:`InFrameReceiver` wires the decoder and
 payload assembler for a camera; :func:`run_link` runs the whole loop --
 multiplex, display, capture, decode, score -- and returns Figure-7 style
-statistics.  This is the surface the examples and benchmarks use.
+statistics.  :func:`run_transport_link` layers :mod:`repro.transport` on
+top: the payload travels as self-describing packets (plain sequential,
+rateless fountain, NACK-driven ARQ, or a broadcast carousel), and the
+receiver bootstraps from packet headers alone -- no out-of-band
+:class:`FramingPlan`.  This is the surface the examples, tools and
+benchmarks use.
 """
 
 from __future__ import annotations
@@ -207,4 +212,219 @@ def run_link(
         captures=captures,
         sender=sender,
         receiver=receiver,
+    )
+
+
+# ----------------------------------------------------------------------
+# Transport layer on top of the PHY
+# ----------------------------------------------------------------------
+_TRANSPORT_MODES = ("plain", "fountain", "arq", "carousel")
+
+
+@dataclass(frozen=True)
+class TransportStats:
+    """Delivery accounting for one transport session over the PHY.
+
+    ``packets_sent`` counts distinct transmission units the sender
+    committed per round (the display may air a batch cyclically to fill
+    the clip; duplicates are deduplicated by the receiver and not counted
+    again).  ``overhead`` is ``packets_sent / k_packets`` -- 1.0 is the
+    lossless floor.
+    """
+
+    mode: str
+    delivered: bool
+    payload_bytes: int
+    k_packets: int
+    packets_sent: int
+    packets_recovered: int
+    rounds: int
+    overhead: float
+    goodput_bps: float
+    airtime_s: float
+
+    def row(self) -> str:
+        """One formatted summary line for the benchmark tables."""
+        status = "ok" if self.delivered else "FAIL"
+        return (
+            f"{self.mode:8s} {status:4s} k={self.k_packets:3d} "
+            f"sent={self.packets_sent:4d} ({self.overhead:4.2f}x) "
+            f"rounds={self.rounds}  goodput={self.goodput_bps / 1000:5.2f} kbps"
+        )
+
+
+@dataclass(frozen=True)
+class TransportRun:
+    """Everything produced by one transport session."""
+
+    payload: bytes | None
+    stats: TransportStats
+    link_stats: list[LinkStats]
+    arq_stats: object | None = None  # ArqStats when mode == "arq"
+
+
+def run_transport_link(
+    config: InFrameConfig,
+    video: VideoSource,
+    payload: bytes,
+    mode: str = "fountain",
+    *,
+    camera: CameraModel | None = None,
+    panel: DisplayPanel | None = None,
+    rs_n: int = 60,
+    rs_k: int = 24,
+    packet_bytes: int | None = None,
+    session_id: int = 1,
+    seed: int = 0,
+    max_rounds: int = 6,
+    fountain_margin: float = 0.35,
+    extra_gob_loss: float = 0.0,
+    burst_loss: bool = True,
+    feedback_loss: float = 0.0,
+    join_offset: int = 0,
+) -> TransportRun:
+    """Deliver *payload* over the screen->camera PHY with a transport scheme.
+
+    Each round multiplexes a batch of transport packets onto *video*
+    (one packet per data frame, inner RS(rs_n, rs_k) protection), runs
+    the full display->capture->decode loop, and feeds whatever packets
+    survive to the mode's receiver.  The receiver never sees a
+    :class:`~repro.core.framing.FramingPlan`: every parameter it needs
+    travels in the packet headers.
+
+    Parameters
+    ----------
+    mode:
+        ``"plain"`` -- sequential DATA packets, single pass (the RS-only
+        baseline); ``"fountain"`` -- rateless LT packets until decoded;
+        ``"arq"`` -- NACK-driven selective retransmission over a
+        simulated feedback channel; ``"carousel"`` -- fountain packets
+        starting at ``join_offset``, modelling a receiver that joins an
+        ongoing broadcast mid-stream.
+    rs_n, rs_k:
+        Inner Reed-Solomon code per frame.  The RS(60, 24) default holds
+        up on textured content, where 2-bit GOB misreads slip past the
+        XOR parity and the decoder must spend budget on *errors* as well
+        as erasures (2e + f <= n - k per codeword).
+    packet_bytes:
+        Payload bytes per packet; defaults to (and is capped at) the
+        frame codec's capacity.
+    max_rounds:
+        Bound on forward passes (each pass replays the clip once).
+    fountain_margin:
+        Extra fraction of packets sent per fountain/carousel round.
+    extra_gob_loss, burst_loss:
+        Additional GOB erasures stacked on the PHY's own impairments
+        (see :class:`repro.transport.GobLossModel`).
+    feedback_loss:
+        NACK loss probability for ARQ mode.
+    join_offset:
+        First carousel symbol the receiver observes.
+    """
+    from repro.transport.arq import ArqReceiver, ArqSender, ArqSession
+    from repro.transport.carousel import BroadcastCarousel, CarouselReceiver
+    from repro.transport.erasures import GobLossModel
+    from repro.transport.packet import (
+        FramePacketCodec,
+        PacketSchedule,
+        PacketSlotAccumulator,
+    )
+
+    if mode not in _TRANSPORT_MODES:
+        raise ValueError(f"mode must be one of {_TRANSPORT_MODES}, got {mode!r}")
+    if not payload:
+        raise ValueError("payload must not be empty")
+    payload = bytes(payload)
+    codec = FramePacketCodec(config, rs_n=rs_n, rs_k=rs_k)
+    chunk = codec.max_payload_bytes
+    if packet_bytes is not None:
+        chunk = min(int(packet_bytes), chunk)
+    k_packets = (len(payload) + chunk - 1) // chunk
+    loss = GobLossModel(extra_gob_loss, burst=burst_loss) if extra_gob_loss else None
+    loss_rng = np.random.default_rng((seed, 0xEA5E))
+    link_stats: list[LinkStats] = []
+    counters = {"sent": 0, "recovered": 0, "rounds": 0}
+
+    def forward(packets: list[bytes]) -> list[bytes]:
+        """One PHY pass: multiplex the batch, film it, decode packets."""
+        counters["rounds"] += 1
+        counters["sent"] += len(packets)
+        schedule = PacketSchedule(config, codec, packets)
+        run = run_link(
+            config,
+            video,
+            camera=camera,
+            schedule=schedule,
+            panel=panel,
+            seed=seed + counters["rounds"],
+        )
+        link_stats.append(run.stats)
+        accumulator = PacketSlotAccumulator(codec, schedule.n_packets)
+        for frame in run.decoded:
+            if loss is not None:
+                frame = loss.degrade(frame, loss_rng)
+            accumulator.add_frame(frame)
+        raws = accumulator.decode_packets()
+        counters["recovered"] += len(raws)
+        return raws
+
+    delivered_payload: bytes | None = None
+    arq_stats = None
+
+    if mode == "plain":
+        sender = ArqSender(payload, chunk, session_id=session_id)
+        receiver = ArqReceiver()
+        for raw in forward(sender.all_packets()):
+            receiver.receive(raw)
+        if receiver.complete:
+            delivered_payload = receiver.payload()
+    elif mode == "arq":
+        session = ArqSession(
+            payload,
+            chunk,
+            forward,
+            session_id=session_id,
+            feedback_loss=feedback_loss,
+            packet_airtime_s=config.tau / config.refresh_hz,
+            max_rounds=max_rounds,
+            rng=np.random.default_rng((seed, 0xFEED)),
+        )
+        arq_stats, delivered_payload = session.run()
+    else:  # fountain / carousel
+        carousel = BroadcastCarousel(payload, chunk, session_id=session_id)
+        receiver = CarouselReceiver()
+        next_seq = join_offset if mode == "carousel" else 0
+        for _ in range(max_rounds):
+            missing = (
+                carousel.k if receiver.decoder is None else receiver.decoder.n_missing
+            )
+            batch = max(2, int(np.ceil(missing * (1.0 + fountain_margin))))
+            for raw in forward(carousel.packets(next_seq, batch)):
+                receiver.receive(raw)
+            next_seq += batch
+            if receiver.complete:
+                break
+        if receiver.complete:
+            delivered_payload = receiver.payload()
+
+    delivered = delivered_payload == payload
+    airtime = counters["rounds"] * video.duration_s
+    goodput = len(payload) * 8.0 / airtime if delivered and airtime > 0 else 0.0
+    stats = TransportStats(
+        mode=mode,
+        delivered=delivered,
+        payload_bytes=len(payload),
+        k_packets=k_packets,
+        packets_sent=counters["sent"],
+        packets_recovered=counters["recovered"],
+        rounds=counters["rounds"],
+        overhead=counters["sent"] / k_packets,
+        goodput_bps=goodput,
+        airtime_s=airtime,
+    )
+    return TransportRun(
+        payload=delivered_payload if delivered else None,
+        stats=stats,
+        link_stats=link_stats,
+        arq_stats=arq_stats,
     )

@@ -44,6 +44,14 @@ class DisplayTimeline:
         The :class:`DisplayPanel` doing the playback.
     source:
         The frame source being played, one frame per refresh.
+    cache_frames:
+        Bound on the per-frame caches (emitted-luminance fields and
+        per-refresh averages), each holding at most this many frames in
+        FIFO order -- so peak cache memory is ``2 * cache_frames`` full
+        luminance fields regardless of stream length.  The default of 24
+        covers two data-frame cycles at the paper's ``tau = 12``; ``0``
+        disables caching (every access recomputes, for memory-starved
+        sweeps over large panels).
 
     Notes
     -----
@@ -56,13 +64,21 @@ class DisplayTimeline:
     """
 
     _WARMUP_FRAMES = 8
-    _CACHE_SIZE = 24
+    _DEFAULT_CACHE_FRAMES = 24
 
-    def __init__(self, panel: DisplayPanel, source: FrameSource) -> None:
+    def __init__(
+        self,
+        panel: DisplayPanel,
+        source: FrameSource,
+        cache_frames: int = _DEFAULT_CACHE_FRAMES,
+    ) -> None:
         if source.n_frames < 1:
             raise ValueError("frame source must contain at least one frame")
+        if cache_frames < 0:
+            raise ValueError(f"cache_frames must be >= 0, got {cache_frames}")
         self.panel = panel
         self.source = source
+        self.cache_frames = int(cache_frames)
         self._lum_cache: dict[int, np.ndarray] = {}
         self._lum_cache_order: list[int] = []
         self._avg_cache: dict[int, np.ndarray] = {}
@@ -169,11 +185,7 @@ class DisplayTimeline:
             return cached
         start = self.latch_time(index)
         avg = self.integrate(start, start + self.panel.frame_interval_s)
-        self._avg_cache[index] = avg
-        self._avg_cache_order.append(index)
-        if len(self._avg_cache_order) > self._CACHE_SIZE:
-            evicted = self._avg_cache_order.pop(0)
-            self._avg_cache.pop(evicted, None)
+        self._cache_put(self._avg_cache, self._avg_cache_order, index, avg)
         return avg
 
     def region_waveform(
@@ -195,6 +207,21 @@ class DisplayTimeline:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _cache_put(
+        self,
+        cache: dict[int, np.ndarray],
+        order: list[int],
+        index: int,
+        value: np.ndarray,
+    ) -> None:
+        """FIFO-insert into a per-frame cache bounded by ``cache_frames``."""
+        if self.cache_frames < 1:
+            return
+        cache[index] = value
+        order.append(index)
+        if len(order) > self.cache_frames:
+            cache.pop(order.pop(0), None)
+
     @staticmethod
     def _crop(
         field: np.ndarray, rect: tuple[int, int, int, int] | None
@@ -209,11 +236,7 @@ class DisplayTimeline:
         if cached is not None:
             return cached
         lum = self.panel.emitted_luminance(self.source.frame(index))
-        self._lum_cache[index] = lum
-        self._lum_cache_order.append(index)
-        if len(self._lum_cache_order) > self._CACHE_SIZE:
-            evicted = self._lum_cache_order.pop(0)
-            self._lum_cache.pop(evicted, None)
+        self._cache_put(self._lum_cache, self._lum_cache_order, index, lum)
         return lum
 
     def _state_before(self, index: int) -> np.ndarray:

@@ -4,11 +4,14 @@ Example::
 
     python -m repro.tools.simulate --video gray --delta 20 --tau 12
     python -m repro.tools.simulate --video video --delta 30 --scale full
+    python -m repro.tools.simulate --json | jq .bit_accuracy
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 from dataclasses import replace
 
 from repro.analysis.experiments import ExperimentScale
@@ -42,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="fraction of the capture the screen subtends (1.0 = paper's 50 cm)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the LinkStats as a JSON object instead of the report",
+    )
     return parser
 
 
@@ -54,17 +62,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.screen_fill < 1.0:
         camera = replace(camera, screen_fill=args.screen_fill)
 
-    print(
-        f"InFrame link: video={args.video} delta={args.delta:g} tau={args.tau} "
-        f"scale={args.scale} fill={args.screen_fill:g}"
-    )
-    print(
-        f"  grid {config.block_rows}x{config.block_cols} blocks of "
-        f"{config.block_side_px}px, {config.bits_per_frame} bits/frame, "
-        f"{config.data_frame_rate_hz:g} frames/s"
-    )
+    if not args.json:
+        print(
+            f"InFrame link: video={args.video} delta={args.delta:g} tau={args.tau} "
+            f"scale={args.scale} fill={args.screen_fill:g}"
+        )
+        print(
+            f"  grid {config.block_rows}x{config.block_cols} blocks of "
+            f"{config.block_side_px}px, {config.bits_per_frame} bits/frame, "
+            f"{config.data_frame_rate_hz:g} frames/s"
+        )
     run = run_link(config, scale.video(args.video), camera=camera, seed=args.seed)
     stats = run.stats
+    if args.json:
+        record = dataclasses.asdict(stats)
+        record["throughput_kbps"] = stats.throughput_kbps
+        record["video"] = args.video
+        record["delta"] = args.delta
+        record["tau"] = args.tau
+        record["scale"] = args.scale
+        record["seed"] = args.seed
+        print(json.dumps(record, indent=2))
+        return 0
     print(f"  decoded data frames : {stats.n_data_frames}")
     print(f"  available GOBs      : {stats.available_gob_ratio * 100:.1f}%")
     print(f"  GOB error rate      : {stats.gob_error_rate * 100:.1f}%")

@@ -1,0 +1,154 @@
+"""CLI: deliver a payload over the simulated link with a transport scheme.
+
+Example::
+
+    python -m repro.tools.transfer --bytes 160 --mode fountain
+    python -m repro.tools.transfer --file logo.bin --mode arq --loss 0.2
+    python -m repro.tools.transfer --bytes 96 --mode all --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentScale
+from repro.core.pipeline import run_transport_link
+
+_MODES = ("plain", "fountain", "arq", "carousel")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.transfer",
+        description="Deliver a payload over the InFrame link via repro.transport.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--file", help="payload file to transfer")
+    source.add_argument(
+        "--bytes",
+        type=int,
+        default=120,
+        help="size of a random payload when --file is not given",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=_MODES + ("all",),
+        default="fountain",
+        help="transport scheme ('all' compares every mode on one line each)",
+    )
+    parser.add_argument(
+        "--video",
+        choices=("gray", "dark-gray", "video"),
+        default="video",
+        help="input content the packets are multiplexed onto",
+    )
+    parser.add_argument("--delta", type=float, default=30.0, help="chessboard amplitude")
+    parser.add_argument("--tau", type=int, default=12, help="data-frame cycle (displayed frames)")
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "benchmark", "full"),
+        default="quick",
+        help="spatial scale of the experiment",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="noise seed")
+    parser.add_argument("--rs-n", type=int, default=60, help="inner RS codeword length")
+    parser.add_argument("--rs-k", type=int, default=24, help="inner RS data bytes")
+    parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="extra GOB loss stacked on the PHY's own impairments",
+    )
+    parser.add_argument(
+        "--feedback-loss", type=float, default=0.0, help="ARQ NACK loss probability"
+    )
+    parser.add_argument(
+        "--max-rounds", type=int, default=6, help="bound on forward passes"
+    )
+    parser.add_argument(
+        "--join-offset",
+        type=int,
+        default=0,
+        help="first carousel symbol observed (mid-stream join)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit TransportStats as JSON"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns 0 iff the requested mode delivered.
+
+    ``--mode all`` is a comparison report (the plain baseline is allowed
+    -- often expected -- to fail there) and always exits 0.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.loss <= 1.0:
+        parser.error(f"--loss must be in [0.0, 1.0], got {args.loss:g}")
+    if not 0.0 <= args.feedback_loss <= 1.0:
+        parser.error(
+            f"--feedback-loss must be in [0.0, 1.0], got {args.feedback_loss:g}"
+        )
+    if args.file is not None:
+        try:
+            with open(args.file, "rb") as handle:
+                payload = handle.read()
+        except OSError as exc:
+            parser.error(str(exc))
+        if not payload:
+            parser.error(f"payload file {args.file} is empty")
+    else:
+        rng = np.random.default_rng(args.seed)
+        payload = rng.integers(0, 256, max(1, args.bytes), dtype=np.uint8).tobytes()
+
+    scale = getattr(ExperimentScale, args.scale)()
+    config = scale.config(amplitude=args.delta, tau=args.tau)
+    video = scale.video(args.video)
+    modes = _MODES if args.mode == "all" else (args.mode,)
+
+    if not args.json:
+        print(
+            f"InFrame transfer: {len(payload)} B over video={args.video} "
+            f"delta={args.delta:g} tau={args.tau} scale={args.scale} "
+            f"RS({args.rs_n},{args.rs_k}) loss={args.loss:g}"
+        )
+
+    results = []
+    for mode in modes:
+        run = run_transport_link(
+            config,
+            video,
+            payload,
+            mode=mode,
+            camera=scale.camera(),
+            rs_n=args.rs_n,
+            rs_k=args.rs_k,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            extra_gob_loss=args.loss,
+            feedback_loss=args.feedback_loss,
+            join_offset=args.join_offset,
+        )
+        results.append(run.stats)
+        if not args.json:
+            print(f"  {run.stats.row()}")
+            if run.arq_stats is not None:
+                print(f"           {run.arq_stats.row()}")
+
+    if args.json:
+        payload_out = [dataclasses.asdict(stats) for stats in results]
+        print(json.dumps(payload_out[0] if args.mode != "all" else payload_out, indent=2))
+    if args.mode == "all":
+        return 0
+    return 0 if all(stats.delivered for stats in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

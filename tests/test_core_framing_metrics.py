@@ -142,6 +142,92 @@ class TestPayloadPipeline:
             )
         assert assembler.payload() == payload
 
+    def test_fully_erased_frame_contributes_nothing(self, small_config):
+        payload = bytes(range(32))
+        schedule = PayloadSchedule(small_config, payload, rs_n=30, rs_k=16)
+        assembler = PayloadAssembler(small_config, schedule.plan)
+        gob_shape = (small_config.gob_rows, small_config.gob_cols)
+        assembler.add_frame(
+            _decoded_from_grid(
+                small_config,
+                schedule.bits(0),
+                index=0,
+                available=np.zeros(gob_shape, bool),
+            )
+        )
+        assert assembler.coverage() == 0.0
+        with pytest.raises(FrameFormatError):
+            assembler.payload()
+        # The dead frame must not poison later, healthy passes.
+        for k in range(schedule.n_payload_frames):
+            assembler.add_frame(
+                _decoded_from_grid(small_config, schedule.bits(k), index=k)
+            )
+        assert assembler.payload() == payload
+
+    def test_crc_mismatch_after_rs_success(self, small_config):
+        # Build a message whose RS codewords are pristine but whose
+        # embedded CRC-16 disagrees with the payload: every codeword
+        # decodes with zero corrections, and the CRC gate must still
+        # reject delivery.
+        from repro.core.framing import FramingPlan, slice_bits_to_frames
+        from repro.core.parity import data_bits_to_grid
+        from repro.ecc.crc import crc16_append
+        from repro.ecc.interleaver import BlockInterleaver
+        from repro.ecc.reed_solomon import ReedSolomonCodec
+
+        payload = b"payload whose checksum lies"
+        rs_n, rs_k = 30, 16
+        codec = ReedSolomonCodec(rs_n, rs_k)
+        buffer = bytearray(len(payload).to_bytes(4, "big") + crc16_append(payload))
+        buffer[-1] ^= 0xFF  # tamper with the stored CRC only
+        if len(buffer) % rs_k:
+            buffer += bytes(rs_k - len(buffer) % rs_k)
+        codewords = [
+            codec.encode(bytes(buffer[i : i + rs_k]))
+            for i in range(0, len(buffer), rs_k)
+        ]
+        interleaver = BlockInterleaver(len(codewords), rs_n)
+        bits = np.unpackbits(
+            np.frombuffer(interleaver.interleave(b"".join(codewords)), dtype=np.uint8)
+        )
+        plan = FramingPlan(rs_n=rs_n, rs_k=rs_k, n_codewords=len(codewords))
+        assembler = PayloadAssembler(small_config, plan)
+        for k, frame_bits in enumerate(slice_bits_to_frames(bits, small_config)):
+            grid = data_bits_to_grid(frame_bits, small_config)
+            assembler.add_frame(_decoded_from_grid(small_config, grid, index=k))
+        with pytest.raises(FrameFormatError, match="CRC"):
+            assembler.payload()
+
+    def test_multi_pass_repeat_convergence(self, small_config):
+        # With repeat=True the schedule cycles; at 70% GOB loss a single
+        # pass is hopeless, but the unknown set shrinks geometrically and
+        # the assembler converges within a bounded number of passes.
+        payload = bytes(range(48))
+        schedule = PayloadSchedule(small_config, payload, rs_n=30, rs_k=16, repeat=True)
+        assembler = PayloadAssembler(small_config, schedule.plan)
+        rng = np.random.default_rng(4)
+        n = schedule.n_payload_frames
+        gob_shape = (small_config.gob_rows, small_config.gob_cols)
+        delivered = None
+        passes_needed = None
+        for pass_index in range(12):
+            for k in range(pass_index * n, (pass_index + 1) * n):
+                available = rng.random(gob_shape) > 0.7
+                assembler.add_frame(
+                    _decoded_from_grid(
+                        small_config, schedule.bits(k), index=k, available=available
+                    )
+                )
+            try:
+                delivered = assembler.payload()
+            except FrameFormatError:
+                continue
+            passes_needed = pass_index + 1
+            break
+        assert delivered == payload
+        assert passes_needed is not None and 1 < passes_needed <= 12
+
     def test_empty_payload_rejected(self, small_config):
         with pytest.raises(ValueError):
             PayloadSchedule(small_config, b"")

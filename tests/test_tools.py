@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.tools import budget, flicker, simulate, sweep
+from repro.tools import budget, flicker, simulate, sweep, transfer
 
 
 class TestSimulateCLI:
@@ -30,6 +32,67 @@ class TestSimulateCLI:
         args = simulate.build_parser().parse_args([])
         assert args.video == "gray"
         assert args.tau == 12
+        assert args.json is False
+
+    def test_json_output(self, capsys):
+        code = simulate.main(["--video", "gray", "--scale", "quick", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        record = json.loads(out)
+        assert record["video"] == "gray"
+        assert 0.0 <= record["bit_accuracy"] <= 1.0
+        assert record["throughput_kbps"] == pytest.approx(
+            record["throughput_bps"] / 1000.0
+        )
+
+
+class TestTransferCLI:
+    def test_parser_defaults(self):
+        args = transfer.build_parser().parse_args([])
+        assert args.mode == "fountain"
+        assert args.rs_k == 24
+        assert args.json is False
+
+    def test_arq_transfer_delivers(self, capsys):
+        code = transfer.main(
+            ["--bytes", "56", "--mode", "arq", "--seed", "3", "--delta", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "arq" in out and "ok" in out
+
+    def test_json_output(self, capsys):
+        code = transfer.main(
+            ["--bytes", "56", "--mode", "arq", "--seed", "3", "--json"]
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["mode"] == "arq"
+        assert record["delivered"] is True
+
+    def test_file_payload(self, tmp_path, capsys):
+        path = tmp_path / "payload.bin"
+        path.write_bytes(b"file transfer payload over InFrame!")
+        code = transfer.main(
+            ["--file", str(path), "--mode", "arq", "--seed", "3"]
+        )
+        assert code == 0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            transfer.main(["--mode", "wishful"])
+
+    def test_rejects_out_of_range_loss(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            transfer.main(["--loss", "1.2"])
+        assert excinfo.value.code == 2
+        assert "--loss" in capsys.readouterr().err
+
+    def test_missing_file_reported_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            transfer.main(["--file", "/no/such/payload.bin"])
+        assert excinfo.value.code == 2
+        assert "payload.bin" in capsys.readouterr().err
 
 
 class TestBudgetCLI:

@@ -1,0 +1,394 @@
+"""Transport layer: packets, fountain coding, ARQ, carousel, end-to-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentScale
+from repro.core.config import InFrameConfig
+from repro.core.pipeline import run_transport_link
+from repro.transport import (
+    FLAG_FIN,
+    HEADER_BYTES,
+    PACKET_OVERHEAD,
+    ArqReceiver,
+    ArqSender,
+    ArqSession,
+    BroadcastCarousel,
+    CarouselReceiver,
+    FramePacketCodec,
+    GobLossModel,
+    LTDecoder,
+    LTEncoder,
+    PacketFormatError,
+    PacketType,
+    build_packet,
+    parse_header,
+    parse_nack,
+    parse_packet,
+    robust_soliton_distribution,
+    scan_packets,
+)
+from repro.transport.erasures import perfect_frame
+from repro.transport.fountain import symbol_neighbors
+from repro.transport.packet import PacketSlotAccumulator
+
+
+@pytest.fixture(scope="module")
+def grid_config() -> InFrameConfig:
+    """The paper's 30x50 Block grid with tiny pixels (bit geometry only)."""
+    return InFrameConfig(element_pixels=1, pixels_per_block=2)
+
+
+@pytest.fixture(scope="module")
+def codec(grid_config) -> FramePacketCodec:
+    return FramePacketCodec(grid_config, rs_n=60, rs_k=24)
+
+
+# ----------------------------------------------------------------------
+# Packet headers
+# ----------------------------------------------------------------------
+class TestPacketFormat:
+    def test_roundtrip_preserves_fields(self):
+        raw = build_packet(
+            PacketType.DATA, 7, 1234, b"hello", 5000, flags=FLAG_FIN
+        )
+        packet = parse_packet(raw)
+        assert packet.header.ptype == PacketType.DATA
+        assert packet.header.session_id == 7
+        assert packet.header.seq == 1234
+        assert packet.header.total_len == 5000
+        assert packet.header.length == 5
+        assert packet.header.flags & FLAG_FIN
+        assert packet.payload == b"hello"
+
+    def test_trailing_padding_ignored(self):
+        raw = build_packet(PacketType.FOUNTAIN, 1, 0, b"abc", 3)
+        assert parse_packet(raw + b"\x00" * 40).payload == b"abc"
+
+    def test_rejects_truncated_header(self):
+        with pytest.raises(PacketFormatError):
+            parse_header(b"IF\x11\x00")
+
+    def test_rejects_bad_magic(self):
+        raw = bytearray(build_packet(PacketType.DATA, 1, 0, b"x", 1))
+        raw[0] = ord("X")
+        with pytest.raises(PacketFormatError):
+            parse_header(bytes(raw))
+
+    def test_rejects_header_corruption(self):
+        raw = bytearray(build_packet(PacketType.DATA, 1, 0, b"x", 1))
+        raw[6] ^= 0xFF  # seq field; caught by the header CRC
+        with pytest.raises(PacketFormatError):
+            parse_header(bytes(raw))
+
+    def test_rejects_payload_corruption(self):
+        raw = bytearray(build_packet(PacketType.DATA, 1, 0, b"payload", 7))
+        raw[HEADER_BYTES] ^= 0x01
+        with pytest.raises(PacketFormatError):
+            parse_packet(bytes(raw))
+
+    def test_rejects_truncated_payload(self):
+        raw = build_packet(PacketType.DATA, 1, 0, b"payload", 7)
+        with pytest.raises(PacketFormatError):
+            parse_packet(raw[: HEADER_BYTES + 3])
+
+    def test_scan_resynchronises_after_garbage(self):
+        a = build_packet(PacketType.DATA, 1, 0, b"first", 10)
+        b = build_packet(PacketType.DATA, 1, 5, b"second", 10)
+        stream = a + b"\xde\xadIF\x00garbage" + b
+        packets = scan_packets(stream)
+        assert [p.payload for p in packets] == [b"first", b"second"]
+
+
+# ----------------------------------------------------------------------
+# Frame codec: packets onto data frames
+# ----------------------------------------------------------------------
+class TestFramePacketCodec:
+    def test_capacity_accounts_for_overhead(self, codec):
+        assert codec.max_payload_bytes == codec.frame_payload_bytes - PACKET_OVERHEAD
+
+    def test_clean_frame_roundtrip(self, codec):
+        raw = build_packet(PacketType.DATA, 3, 0, b"A" * codec.max_payload_bytes, 99)
+        out = codec.decode(perfect_frame(codec, raw))
+        assert out is not None
+        assert parse_packet(out).payload == b"A" * codec.max_payload_bytes
+
+    def test_erasures_within_radius_corrected(self, codec, rng):
+        raw = build_packet(PacketType.DATA, 3, 0, b"B" * 10, 10)
+        loss = GobLossModel(0.08)
+        frame = loss.degrade(perfect_frame(codec, raw), rng)
+        assert frame.gob_available.sum() < frame.gob_available.size
+        out = codec.decode(frame)
+        assert out is not None and parse_packet(out).payload == b"B" * 10
+
+    def test_burst_beyond_radius_is_packet_erasure(self, codec, rng):
+        raw = build_packet(PacketType.DATA, 3, 0, b"C" * 10, 10)
+        loss = GobLossModel(0.7, burst=True)
+        assert codec.decode(loss.degrade(perfect_frame(codec, raw), rng)) is None
+
+    def test_slot_accumulation_merges_observations(self, codec, rng):
+        # Each single observation is beyond the RS radius, but the two
+        # passes miss different GOBs; the merged slot decodes.
+        raw = build_packet(PacketType.DATA, 3, 0, b"D" * 10, 10)
+        loss = GobLossModel(0.45)
+        accumulator = PacketSlotAccumulator(codec, n_slots=1)
+        single_failures = 0
+        for _ in range(2):
+            frame = loss.degrade(perfect_frame(codec, raw), rng)
+            if codec.decode(frame) is None:
+                single_failures += 1
+            accumulator.add_frame(frame)
+        assert single_failures == 2
+        raws = accumulator.decode_packets()
+        assert len(raws) == 1 and parse_packet(raws[0]).payload == b"D" * 10
+
+
+# ----------------------------------------------------------------------
+# Fountain coding
+# ----------------------------------------------------------------------
+class TestFountain:
+    def test_distribution_is_normalized(self):
+        for k in (1, 2, 10, 100):
+            dist = robust_soliton_distribution(k)
+            assert dist.shape == (k,)
+            assert np.all(dist >= 0)
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_systematic_prefix(self):
+        encoder = LTEncoder(bytes(range(100)), symbol_size=10, seed=9)
+        for i in range(encoder.k):
+            assert encoder.symbol(i) == bytes(range(100))[i * 10 : (i + 1) * 10]
+
+    def test_neighbors_deterministic(self):
+        dist = robust_soliton_distribution(20)
+        a = symbol_neighbors(20, seed=5, seq=321, distribution=dist)
+        b = symbol_neighbors(20, seed=5, seq=321, distribution=dist)
+        assert np.array_equal(a, b)
+        c = symbol_neighbors(20, seed=6, seq=321, distribution=dist)
+        assert not np.array_equal(a, c) or a.size != c.size
+
+    def test_peeling_decodes_systematic_pass(self):
+        payload = bytes(np.random.default_rng(0).integers(0, 256, 95, dtype=np.uint8))
+        encoder = LTEncoder(payload, symbol_size=10, seed=4)
+        decoder = LTDecoder(encoder.k, 10, len(payload), seed=4)
+        for seq in range(encoder.k):
+            decoder.add_symbol(seq, encoder.symbol(seq))
+        assert decoder.complete
+        assert decoder.data() == payload
+
+    def test_decodes_from_nonsystematic_symbols_only(self):
+        # A mid-stream receiver sees no systematic symbols at all.
+        payload = bytes(np.random.default_rng(1).integers(0, 256, 120, dtype=np.uint8))
+        encoder = LTEncoder(payload, symbol_size=12, seed=2)
+        decoder = LTDecoder(encoder.k, 12, len(payload), seed=2)
+        seq = 5000
+        while not decoder.complete:
+            decoder.add_symbol(seq, encoder.symbol(seq))
+            seq += 1
+        assert decoder.data() == payload
+        assert decoder.n_received <= int(np.ceil(1.5 * encoder.k))
+
+    def test_redundant_symbols_counted(self):
+        encoder = LTEncoder(b"0123456789", symbol_size=5, seed=1)
+        decoder = LTDecoder(encoder.k, 5, 10, seed=1)
+        decoder.add_symbol(0, encoder.symbol(0))
+        decoder.add_symbol(0, encoder.symbol(0))
+        assert decoder.n_redundant == 1
+
+    def test_incomplete_decode_raises(self):
+        decoder = LTDecoder(4, 5, 20, seed=1)
+        with pytest.raises(ValueError, match="incomplete"):
+            decoder.data()
+
+
+# ----------------------------------------------------------------------
+# ARQ
+# ----------------------------------------------------------------------
+class TestArq:
+    def test_sender_offsets_and_fin(self):
+        sender = ArqSender(b"x" * 25, chunk_bytes=10, session_id=3)
+        headers = [parse_packet(p).header for p in sender.all_packets()]
+        assert [h.seq for h in headers] == [0, 10, 20]
+        assert [bool(h.flags & FLAG_FIN) for h in headers] == [False, False, True]
+        assert all(h.total_len == 25 for h in headers)
+
+    def test_receiver_bootstraps_from_headers(self):
+        sender = ArqSender(b"abcdefghij", chunk_bytes=4, session_id=9)
+        receiver = ArqReceiver()
+        for raw in sender.all_packets():
+            receiver.receive(raw)
+        assert receiver.session_id == 9
+        assert receiver.complete
+        assert receiver.payload() == b"abcdefghij"
+
+    def test_missing_ranges_and_nack_roundtrip(self):
+        sender = ArqSender(bytes(range(30)), chunk_bytes=10)
+        receiver = ArqReceiver()
+        packets = sender.all_packets()
+        receiver.receive(packets[0])
+        receiver.receive(packets[2])
+        assert receiver.missing_ranges() == [(10, 10)]
+        ranges = parse_nack(parse_packet(receiver.nack()))
+        assert ranges == [(10, 10)]
+        resent = sender.packets_for_ranges(ranges)
+        assert [parse_packet(p).header.seq for p in resent] == [10]
+
+    def test_malformed_packets_rejected_not_fatal(self):
+        receiver = ArqReceiver()
+        assert not receiver.receive(b"junk that is long enough to look at")
+        assert receiver.n_rejected == 1
+
+    def test_session_retransmits_only_missing(self):
+        payload = bytes(np.random.default_rng(2).integers(0, 256, 50, dtype=np.uint8))
+        dropped = {10}  # drop the middle packet once
+
+        def forward(packets):
+            out = []
+            for raw in packets:
+                seq = parse_packet(raw).header.seq
+                if seq in dropped:
+                    dropped.discard(seq)
+                    continue
+                out.append(raw)
+            return out
+
+        session = ArqSession(payload, 10, forward, rng=np.random.default_rng(0))
+        stats, delivered = session.run()
+        assert delivered == payload
+        assert stats.rounds == 2
+        assert stats.retransmissions == 1  # only the dropped packet again
+        assert stats.nacks_delivered == 1
+        assert stats.timeouts == 0
+
+    def test_lost_feedback_times_out_and_backs_off(self):
+        payload = b"z" * 30
+        calls = {"n": 0}
+
+        def forward(packets):
+            calls["n"] += 1
+            return packets if calls["n"] >= 3 else []  # channel dark for 2 rounds
+
+        session = ArqSession(
+            payload,
+            10,
+            forward,
+            feedback_loss=1.0,
+            timeout_s=0.25,
+            backoff=2.0,
+            packet_airtime_s=0.1,
+            rng=np.random.default_rng(0),
+        )
+        stats, delivered = session.run()
+        assert delivered == payload
+        assert stats.rounds == 3
+        assert stats.timeouts == 2
+        assert stats.retransmissions == 6  # the whole batch, twice
+        # elapsed = 9 packets * 0.1s airtime + 0.25s + 0.5s backoff waits
+        assert stats.elapsed_s == pytest.approx(0.9 + 0.25 + 0.5)
+
+    def test_gives_up_after_max_rounds(self):
+        stats, delivered = ArqSession(
+            b"q" * 20,
+            10,
+            lambda packets: [],
+            max_rounds=3,
+            rng=np.random.default_rng(0),
+        ).run()
+        assert delivered is None
+        assert not stats.delivered
+        assert stats.rounds == 3
+
+
+# ----------------------------------------------------------------------
+# Carousel
+# ----------------------------------------------------------------------
+class TestCarousel:
+    def test_midstream_join_bootstraps_from_headers(self):
+        payload = bytes(np.random.default_rng(3).integers(0, 256, 140, dtype=np.uint8))
+        carousel = BroadcastCarousel(payload, symbol_bytes=14, session_id=77)
+        receiver = CarouselReceiver()
+        stream = carousel.stream(start=12345)  # joined long after start
+        while not receiver.complete:
+            receiver.receive(next(stream))
+        assert receiver.payload() == payload
+        assert receiver.session_id == 77
+        assert receiver.decoder.n_received <= int(np.ceil(1.5 * carousel.k))
+
+    def test_new_session_resets_receiver(self):
+        first = BroadcastCarousel(b"old payload!", symbol_bytes=4, session_id=1)
+        second = BroadcastCarousel(b"new payload.", symbol_bytes=4, session_id=2)
+        receiver = CarouselReceiver()
+        receiver.receive(first.packet(0))
+        for raw in second.stream():
+            if receiver.complete:
+                break
+            receiver.receive(raw)
+        assert receiver.session_id == 2
+        assert receiver.payload() == b"new payload."
+
+    def test_ignores_foreign_and_malformed_packets(self):
+        carousel = BroadcastCarousel(b"payload body", symbol_bytes=4)
+        receiver = CarouselReceiver()
+        assert not receiver.receive(b"\x00" * 30)
+        assert not receiver.receive(build_packet(PacketType.DATA, 1, 0, b"d", 1))
+        assert receiver.n_rejected == 1
+        assert receiver.decoder is None
+        receiver.receive(carousel.packet(0))
+        assert receiver.decoder is not None
+
+
+# ----------------------------------------------------------------------
+# End to end over the PHY
+# ----------------------------------------------------------------------
+class TestTransportOverPhy:
+    """The acceptance scenario: textured content defeats one open-loop
+    pass, while the fountain and ARQ schemes deliver -- receivers
+    bootstrapping purely from packet headers."""
+
+    @pytest.fixture(scope="class")
+    def phy(self):
+        scale = ExperimentScale.quick()
+        config = scale.config(amplitude=30.0, tau=12)
+        payload = bytes(
+            np.random.default_rng(5).integers(0, 256, 84, dtype=np.uint8)
+        )
+        return {"scale": scale, "config": config, "payload": payload}
+
+    def _run(self, phy, mode, **kwargs):
+        return run_transport_link(
+            phy["config"],
+            phy["scale"].video("video"),
+            phy["payload"],
+            mode=mode,
+            camera=phy["scale"].camera(),
+            seed=3,
+            max_rounds=6,
+            **kwargs,
+        )
+
+    def test_plain_single_pass_fails(self, phy):
+        run = self._run(phy, "plain")
+        assert not run.stats.delivered
+        assert run.payload is None
+        assert run.stats.rounds == 1
+
+    def test_fountain_delivers_with_bounded_overhead(self, phy):
+        run = self._run(phy, "fountain")
+        assert run.stats.delivered
+        assert run.payload == phy["payload"]
+        # Reception overhead: decoded packets needed vs the k minimum.
+        assert run.stats.packets_recovered <= 1.5 * run.stats.k_packets
+        assert run.stats.goodput_bps > 0
+
+    def test_arq_delivers_within_bounded_rounds(self, phy):
+        run = self._run(phy, "arq")
+        assert run.stats.delivered
+        assert run.payload == phy["payload"]
+        assert run.arq_stats is not None
+        assert run.arq_stats.rounds <= 6
+
+    def test_rejects_unknown_mode(self, phy):
+        with pytest.raises(ValueError, match="mode"):
+            self._run(phy, "telepathy")
