@@ -242,11 +242,22 @@ class InFrameDecoder:
         Data frames observed by no capture (or only by zero-weight
         transition captures) are skipped.
         """
-        if not captures:
-            return []
+        return self.decide_observations([self.observe(c) for c in captures])
+
+    def decide_observations(
+        self, observations: list[BlockObservation]
+    ) -> list[DecodedDataFrame]:
+        """Aggregate pre-extracted observations into data-frame verdicts.
+
+        The per-capture :meth:`observe` stage is the expensive half of
+        decoding and is embarrassingly parallel; ``repro.runtime``
+        computes observations on worker processes and feeds them here,
+        while :meth:`decode` is the serial observe-then-decide
+        composition.  The verdicts depend only on the observation
+        *values*, never on which process produced them.
+        """
         grouped: dict[int, list[BlockObservation]] = {}
-        for capture in captures:
-            obs = self.observe(capture)
+        for obs in observations:
             grouped.setdefault(obs.data_frame_index, []).append(obs)
         decoded = []
         for data_index in sorted(grouped):

@@ -14,6 +14,7 @@ benchmarks use.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,8 @@ from repro.core.metrics import LinkStats, summarize_link
 from repro.core.multiplexer import DataFrameSchedule, MultiplexedStream
 from repro.display.panel import DisplayPanel
 from repro.display.scheduler import DisplayTimeline
+from repro.runtime.link_exec import execute_link_captures
+from repro.runtime.profiler import RuntimeReport
 from repro.video.source import VideoSource
 
 
@@ -148,6 +151,7 @@ class LinkRun:
     captures: list[CapturedFrame]
     sender: InFrameSender
     receiver: InFrameReceiver
+    runtime: RuntimeReport | None = None
 
 
 def run_link(
@@ -159,6 +163,7 @@ def run_link(
     n_camera_frames: int | None = None,
     seed: int = 0,
     warmup_data_frames: int = 1,
+    workers: int | None = None,
 ) -> LinkRun:
     """Run the full screen->camera loop and score it against ground truth.
 
@@ -171,26 +176,40 @@ def run_link(
         Captures to take; defaults to everything the stream duration
         allows.
     seed:
-        Seed for the sensor-noise generator.
+        Seed of the run's noise streams.  Each capture draws from its own
+        spawn-keyed generator (``SeedSequence(seed, spawn_key=(index,))``),
+        which is what makes parallel execution bit-identical to serial.
     warmup_data_frames:
         Leading data frames excluded from scoring (their cycles are only
         partially covered by captures).
+    workers:
+        Worker processes for the capture+observe stages.  ``None``/``1``
+        runs in-process; ``N > 1`` dispatches chunks to a process pool
+        via :mod:`repro.runtime` (same results, bit for bit).  The
+        engine falls back to in-process execution when a pool cannot be
+        built or keeps crashing.  Either way ``LinkRun.runtime`` carries
+        the per-stage profile.
     """
+    wall0 = time.perf_counter()
     sender = InFrameSender(config, video, schedule=schedule, panel=panel)
     timeline = sender.timeline()
     if camera is None:
         peak = sender.panel.gamma_curve.peak_luminance * sender.panel.brightness
         camera = CameraModel().auto_exposed(peak)
     receiver = InFrameReceiver(config, sender.geometry, camera, plan=sender.plan())
-    rng = np.random.default_rng(seed)
     max_frames = camera.frames_covering(timeline)
     if max_frames < 1:
         raise ValueError("stream too short for even one camera frame")
     if n_camera_frames is None:
         n_camera_frames = max_frames
     n_camera_frames = min(n_camera_frames, max_frames)
-    captures = camera.capture_sequence(timeline, n_camera_frames, rng=rng)
-    decoded_all = receiver.decode(captures)
+    execution = execute_link_captures(
+        timeline, camera, receiver.decoder, n_camera_frames, seed, workers=workers
+    )
+    captures = execution.captures
+    timers = execution.timers
+    with timers.stage("decide"):
+        decoded_all = receiver.decoder.decide_observations(execution.observations)
     # Score only fully covered data frames: drop warmup and the tail frame
     # whose cycle the capture window may have clipped.
     last_complete = int(
@@ -203,8 +222,19 @@ def run_link(
         raise ValueError(
             "no fully covered data frames; lengthen the video or reduce warmup"
         )
-    truths = [sender.stream.ground_truth(d.index) for d in decoded]
-    stats = summarize_link(truths, decoded, config)
+    with timers.stage("score"):
+        truths = [sender.stream.ground_truth(d.index) for d in decoded]
+        stats = summarize_link(truths, decoded, config)
+    report = RuntimeReport(
+        mode=execution.mode,
+        workers=execution.workers,
+        chunks=execution.chunks,
+        frames=len(captures),
+        bits=stats.n_data_frames * config.bits_per_frame,
+        elapsed_s=time.perf_counter() - wall0,
+        retries=execution.retries,
+        stages=timers.as_dict(),
+    )
     return LinkRun(
         stats=stats,
         decoded=decoded,
@@ -212,6 +242,7 @@ def run_link(
         captures=captures,
         sender=sender,
         receiver=receiver,
+        runtime=report,
     )
 
 
@@ -261,6 +292,7 @@ class TransportRun:
     stats: TransportStats
     link_stats: list[LinkStats]
     arq_stats: object | None = None  # ArqStats when mode == "arq"
+    runtime: RuntimeReport | None = None  # merged over all forward passes
 
 
 def run_transport_link(
@@ -282,6 +314,7 @@ def run_transport_link(
     burst_loss: bool = True,
     feedback_loss: float = 0.0,
     join_offset: int = 0,
+    workers: int | None = None,
 ) -> TransportRun:
     """Deliver *payload* over the screen->camera PHY with a transport scheme.
 
@@ -320,6 +353,10 @@ def run_transport_link(
         NACK loss probability for ARQ mode.
     join_offset:
         First carousel symbol the receiver observes.
+    workers:
+        Worker processes for every forward pass's capture+observe stages
+        (see :func:`run_link`); the per-pass profiles are merged into
+        ``TransportRun.runtime``.
     """
     from repro.transport.arq import ArqReceiver, ArqSender, ArqSession
     from repro.transport.carousel import BroadcastCarousel, CarouselReceiver
@@ -343,6 +380,7 @@ def run_transport_link(
     loss = GobLossModel(extra_gob_loss, burst=burst_loss) if extra_gob_loss else None
     loss_rng = np.random.default_rng((seed, 0xEA5E))
     link_stats: list[LinkStats] = []
+    runtime_reports: list[RuntimeReport] = []
     counters = {"sent": 0, "recovered": 0, "rounds": 0}
 
     def forward(packets: list[bytes]) -> list[bytes]:
@@ -357,8 +395,11 @@ def run_transport_link(
             schedule=schedule,
             panel=panel,
             seed=seed + counters["rounds"],
+            workers=workers,
         )
         link_stats.append(run.stats)
+        if run.runtime is not None:
+            runtime_reports.append(run.runtime)
         accumulator = PacketSlotAccumulator(codec, schedule.n_packets)
         for frame in run.decoded:
             if loss is not None:
@@ -427,4 +468,5 @@ def run_transport_link(
         stats=stats,
         link_stats=link_stats,
         arq_stats=arq_stats,
+        runtime=RuntimeReport.merge(runtime_reports),
     )

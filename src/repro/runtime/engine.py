@@ -1,0 +1,239 @@
+"""The process-pool execution engine.
+
+:class:`ExecutionEngine` maps a module-level function over a list of work
+items on a pool of worker processes, with the three properties the
+photon pipeline needs and plain ``Pool.map`` lacks:
+
+* **windowed dispatch** -- at most ``max_inflight`` items are in flight,
+  so a bounded shared-memory pool can recycle slots as results drain;
+* **crash robustness** -- a dying worker (OOM kill, native-extension
+  fault) breaks a ``concurrent.futures`` pool for good; the engine
+  detects the break, rebuilds the pool, retries the unfinished items a
+  bounded number of times, and finally completes them in-process;
+* **cheap context transfer** -- the per-run context (display timeline,
+  camera, decoder, frame pool) is handed to workers through the pool
+  initializer, which under the default ``fork`` start method is plain
+  memory inheritance: nothing is pickled per task except the item.
+
+Ordinary exceptions raised by the work function are *not* retried -- they
+are deterministic and propagate to the caller unchanged.  Only pool
+breakage (the process vanished) triggers the retry path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (CPUs, capped at 8)."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def resolve_start_method() -> str | None:
+    """The preferred multiprocessing start method, or None if unusable.
+
+    ``fork`` makes context transfer free and is available on every POSIX
+    platform; without it (Windows) the engine still works provided the
+    context pickles, but callers should prefer serial there.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return "fork"
+    return methods[0] if methods else None
+
+
+@dataclass
+class EngineStats:
+    """What happened during one :meth:`ExecutionEngine.map` call."""
+
+    mode: str = "serial"
+    workers: int = 1
+    items: int = 0
+    retries: int = 0
+    serial_items: int = 0  # items completed in-process (serial mode or fallback)
+    crashes: int = 0  # pool breakages observed
+    errors: list = field(default_factory=list)
+
+
+# Per-worker context installed by the pool initializer (inherited state
+# under fork; pickled once per worker otherwise).
+_WORKER_CONTEXT = None
+
+
+def _init_worker(context) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_task(func, item):
+    return func(item, _WORKER_CONTEXT)
+
+
+class ExecutionEngine:
+    """Maps a function over items on a crash-tolerant process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``None`` picks :func:`default_workers`, and
+        ``<= 1`` runs everything in-process.
+    max_retries:
+        Pool rebuilds allowed after crashes before falling back.
+    max_inflight:
+        Bound on concurrently dispatched items (default ``workers + 2``);
+        this is the window a :class:`~repro.runtime.shm.SharedFramePool`
+        must cover.
+    fallback_serial:
+        Complete unfinished items in-process once retries are exhausted
+        (or the pool cannot be built at all) instead of raising.
+    start_method:
+        Multiprocessing start method; default prefers ``fork``.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        max_retries: int = 2,
+        max_inflight: int | None = None,
+        fallback_serial: bool = True,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = default_workers() if workers is None else max(int(workers), 1)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = int(max_retries)
+        self.max_inflight = (
+            self.workers + 2 if max_inflight is None else max(int(max_inflight), 1)
+        )
+        self.fallback_serial = bool(fallback_serial)
+        self.start_method = start_method or resolve_start_method()
+        self.stats = EngineStats()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this engine will even try to use a pool."""
+        return self.workers > 1 and self.start_method is not None
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map(self, func, items, context=None, on_result=None, prepare=None) -> list:
+        """Apply ``func(item, context)`` to every item; ordered results.
+
+        *func* must be a module-level function (it crosses the process
+        boundary by reference).  *on_result* is called as ``(index,
+        result)`` the moment each item finishes -- out of order under a
+        pool -- and is how callers drain shared-memory slots.  *prepare*
+        is called as ``(index, item) -> item`` right before an item is
+        dispatched (at most ``max_inflight`` items are prepared but not
+        yet drained) and is how callers *acquire* those slots; the
+        returned item replaces the original, so a retried item sees its
+        own prepared state and can keep its slots.
+        """
+        items = list(items)
+        self.stats = EngineStats(workers=self.workers, items=len(items))
+        results: list = [None] * len(items)
+        if not items:
+            return results
+        if not self.parallel or len(items) == 1:
+            self.stats.mode = "serial"
+            self._run_serial(
+                func, items, context, range(len(items)), results, on_result, prepare
+            )
+            return results
+
+        self.stats.mode = "parallel"
+        pending: deque[int] = deque(range(len(items)))
+        attempts = 0
+        while pending:
+            if attempts > self.max_retries:
+                break
+            try:
+                pending = deque(
+                    self._pool_pass(
+                        func, items, context, pending, results, on_result, prepare
+                    )
+                )
+            except OSError as exc:  # pool could not even be built
+                self.stats.errors.append(repr(exc))
+                break
+            if pending:
+                attempts += 1
+                self.stats.crashes += 1
+                if attempts <= self.max_retries:
+                    self.stats.retries += 1
+        if pending:
+            if not self.fallback_serial:
+                raise BrokenProcessPool(
+                    f"{len(pending)} work items unfinished after "
+                    f"{self.max_retries} pool retries"
+                )
+            self.stats.mode = "serial-fallback"
+            self._run_serial(
+                func, items, context, list(pending), results, on_result, prepare
+            )
+        return results
+
+    def _run_serial(
+        self, func, items, context, indices, results, on_result, prepare=None
+    ) -> None:
+        for index in indices:
+            if prepare is not None:
+                items[index] = prepare(index, items[index])
+            results[index] = func(items[index], context)
+            self.stats.serial_items += 1
+            if on_result is not None:
+                on_result(index, results[index])
+
+    def _pool_pass(
+        self, func, items, context, pending, results, on_result, prepare=None
+    ) -> list[int]:
+        """One pool lifetime; returns the indices it failed to finish."""
+        pending = deque(pending)
+        inflight: dict = {}
+        failed: list[int] = []
+        mp_context = multiprocessing.get_context(self.start_method)
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(context,),
+        )
+        broken = False
+        try:
+            while (pending or inflight) and not broken:
+                while pending and len(inflight) < self.max_inflight:
+                    index = pending.popleft()
+                    if prepare is not None:
+                        items[index] = prepare(index, items[index])
+                    try:
+                        future = executor.submit(_run_task, func, items[index])
+                    except (BrokenProcessPool, RuntimeError):
+                        pending.appendleft(index)
+                        broken = True
+                        break
+                    inflight[future] = index
+                if not inflight:
+                    break
+                done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        self.stats.errors.append(repr(exc))
+                        failed.append(index)
+                        broken = True
+                    else:
+                        results[index] = result
+                        if on_result is not None:
+                            on_result(index, result)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return failed + [inflight[f] for f in inflight] + list(pending)

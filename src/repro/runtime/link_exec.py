@@ -1,0 +1,205 @@
+"""The photon pipeline on the execution engine.
+
+One work item is a :class:`~repro.runtime.scheduler.WorkChunk` of camera
+frame indices.  A worker renders each capture from the display timeline
+(with the capture's own spawn-keyed RNG), extracts the decoder's noise
+observation, parks the pixels in a shared-memory slot, and sends back
+only slot handles, observations and timings.  The parent drains slots as
+chunks complete and reassembles the ordered capture/observation lists --
+bit-identical to serial execution, because no randomness is shared
+across captures (see ``docs/runtime.md`` for the contract).
+
+Chunks are contiguous so each worker's timeline cache stays warm: one
+capture integrates a handful of consecutive display frames, and
+consecutive captures overlap only at chunk boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.camera.capture import CameraModel, CapturedFrame
+from repro.display.scheduler import DisplayTimeline
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.profiler import StageTimers
+from repro.runtime.scheduler import WorkChunk, plan_chunks
+from repro.runtime.shm import SharedFramePool, SlotRef, shared_memory_available
+
+if TYPE_CHECKING:  # imported lazily to keep repro.runtime free of repro.core
+    from repro.core.decoder import BlockObservation, InFrameDecoder
+
+
+@dataclass(frozen=True)
+class _LinkContext:
+    """Everything a worker needs; inherited whole under a forked pool."""
+
+    timeline: DisplayTimeline
+    camera: CameraModel
+    decoder: InFrameDecoder
+    pool: SharedFramePool | None
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """One dispatched chunk plus the slots the parent pre-acquired."""
+
+    chunk: WorkChunk
+    slots: tuple[SlotRef, ...] | None = None
+
+
+@dataclass(frozen=True)
+class _CaptureRecord:
+    """A captured frame travelling back from a worker (pixels by slot)."""
+
+    index: int
+    start_time_s: float
+    mid_exposure_s: float
+    pixels: np.ndarray | None
+    slot: SlotRef | None
+    observation: BlockObservation
+
+
+@dataclass(frozen=True)
+class _ChunkResult:
+    records: tuple[_CaptureRecord, ...]
+    timings: dict
+
+
+@dataclass(frozen=True)
+class LinkExecution:
+    """Ordered outputs of the capture+observe stages, plus accounting."""
+
+    captures: list[CapturedFrame]
+    observations: list[BlockObservation]
+    mode: str
+    workers: int
+    chunks: int
+    retries: int
+    timers: StageTimers
+
+
+def _capture_chunk(task: _ChunkTask, ctx: _LinkContext) -> _ChunkResult:
+    """Render, film and observe every capture of one chunk (worker side)."""
+    timers = StageTimers()
+    records = []
+    for position, index in enumerate(task.chunk.items):
+        rng = task.chunk.item_rng(index)
+        with timers.stage("render"):
+            capture = ctx.camera.capture_frame(ctx.timeline, index, rng=rng)
+        with timers.stage("observe"):
+            observation = ctx.decoder.observe(capture)
+        if task.slots is not None:
+            with timers.stage("transfer"):
+                slot = ctx.pool.write(task.slots[position], capture.pixels)
+            pixels = None
+        else:
+            slot, pixels = None, capture.pixels
+        records.append(
+            _CaptureRecord(
+                index=capture.index,
+                start_time_s=capture.start_time_s,
+                mid_exposure_s=capture.mid_exposure_s,
+                pixels=pixels,
+                slot=slot,
+                observation=observation,
+            )
+        )
+    return _ChunkResult(records=tuple(records), timings=timers.as_dict())
+
+
+def execute_link_captures(
+    timeline: DisplayTimeline,
+    camera: CameraModel,
+    decoder: InFrameDecoder,
+    n_frames: int,
+    seed: int,
+    workers: int | None = None,
+    max_retries: int = 2,
+    start_index: int = 0,
+) -> LinkExecution:
+    """Run capture + observe for *n_frames* camera frames, possibly in parallel.
+
+    ``workers in (None, 0, 1)`` executes in-process (no pool, no shared
+    memory) but on the same per-capture RNG streams and the same code
+    path, so the results are identical either way.
+    """
+    serial = workers is None or int(workers) <= 1
+    engine = ExecutionEngine(workers=1 if serial else int(workers),
+                             max_retries=max_retries)
+    if serial or not engine.parallel:
+        chunks = plan_chunks(n_frames, n_chunks=1, seed=seed, start=start_index)
+    else:
+        # Two chunks per worker: capture cost is homogeneous, so near-equal
+        # chunks already balance load, and every extra chunk pays a cold
+        # timeline cache (the LC-state warmup plus a few display-frame
+        # renders) again.
+        chunks = plan_chunks(
+            n_frames, n_chunks=engine.workers * 2, seed=seed, start=start_index
+        )
+    use_pool = engine.parallel and len(chunks) > 1 and shared_memory_available()
+    pool = None
+    if use_pool:
+        slots_needed = engine.max_inflight * max(len(c) for c in chunks)
+        pool = SharedFramePool(
+            (camera.height, camera.width), np.float32, n_slots=slots_needed
+        )
+    ctx = _LinkContext(timeline=timeline, camera=camera, decoder=decoder, pool=pool)
+    timers = StageTimers()
+    by_index: dict[int, tuple[CapturedFrame, BlockObservation]] = {}
+
+    def prepare(_i: int, task: _ChunkTask) -> _ChunkTask:
+        if pool is None or task.slots is not None:
+            return task
+        return replace(
+            task, slots=tuple(pool.acquire() for _ in range(len(task.chunk)))
+        )
+
+    def drain(_i: int, result: _ChunkResult) -> None:
+        timers.merge(result.timings)
+        with timers.stage("transfer"):
+            for record in result.records:
+                if record.slot is not None:
+                    pixels = pool.read(record.slot, copy=True)
+                    pool.release(record.slot)
+                else:
+                    pixels = record.pixels
+                by_index[record.index] = (
+                    CapturedFrame(
+                        pixels=pixels,
+                        index=record.index,
+                        start_time_s=record.start_time_s,
+                        mid_exposure_s=record.mid_exposure_s,
+                    ),
+                    record.observation,
+                )
+
+    try:
+        engine.map(
+            _capture_chunk,
+            [_ChunkTask(chunk=c) for c in chunks],
+            context=ctx,
+            on_result=drain,
+            prepare=prepare,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    ordered = [by_index[i] for i in sorted(by_index)]
+    return LinkExecution(
+        captures=[pair[0] for pair in ordered],
+        observations=[pair[1] for pair in ordered],
+        mode=engine.stats.mode,
+        workers=engine.workers,
+        chunks=len(chunks),
+        retries=engine.stats.retries,
+        timers=timers,
+    )
+
+
+def wall_clock() -> float:
+    """The parent-side wall clock the reports are stamped with."""
+    return time.perf_counter()

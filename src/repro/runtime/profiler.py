@@ -1,0 +1,168 @@
+"""Lightweight observability: per-stage timers and the run report.
+
+Workers time their stages locally (wall clock and CPU clock), the
+timings ride back with each chunk's result, and the parent merges them
+into one :class:`RuntimeReport` -- frames/sec, bits/sec and a per-stage
+breakdown that :func:`repro.core.pipeline.run_link`, the CLIs and the
+benchmarks surface.  The timers are plain counters, cheap enough to stay
+on unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageTiming:
+    """Accumulated cost of one pipeline stage."""
+
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    calls: int = 0
+
+    def add(self, wall_s: float, cpu_s: float, calls: int = 1) -> None:
+        self.wall_s += wall_s
+        self.cpu_s += cpu_s
+        self.calls += calls
+
+    def as_dict(self) -> dict:
+        return {"wall_s": self.wall_s, "cpu_s": self.cpu_s, "calls": self.calls}
+
+
+class StageTimers:
+    """A named collection of :class:`StageTiming` counters."""
+
+    def __init__(self) -> None:
+        self._stages: dict[str, StageTiming] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a ``with`` block under *name* (wall + CPU)."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            self._timing(name).add(
+                time.perf_counter() - wall0, time.process_time() - cpu0
+            )
+
+    def _timing(self, name: str) -> StageTiming:
+        timing = self._stages.get(name)
+        if timing is None:
+            timing = self._stages[name] = StageTiming()
+        return timing
+
+    def merge(self, other: "StageTimers | dict[str, dict]") -> None:
+        """Fold another timer set (or its ``as_dict``) into this one."""
+        items = (
+            other._stages.items()
+            if isinstance(other, StageTimers)
+            else {k: StageTiming(**v) for k, v in other.items()}.items()
+        )
+        for name, timing in items:
+            self._timing(name).add(timing.wall_s, timing.cpu_s, timing.calls)
+
+    def as_dict(self) -> dict[str, dict]:
+        return {name: timing.as_dict() for name, timing in self._stages.items()}
+
+
+@dataclass(frozen=True)
+class RuntimeReport:
+    """What one engine-driven run cost, and where the time went.
+
+    Attributes
+    ----------
+    mode:
+        ``"serial"`` (in-process), ``"parallel"`` (process pool) or
+        ``"serial-fallback"`` (the pool was unavailable or kept dying and
+        the engine completed the work in-process).
+    workers:
+        Worker processes requested.
+    chunks, frames:
+        Work units dispatched and items (camera frames) processed.
+    bits:
+        Payload bits decoded (0 when the run carries no scoring info).
+    elapsed_s:
+        Parent-side wall clock for the whole run.
+    retries:
+        Pool rebuilds after worker crashes.
+    stages:
+        Per-stage breakdown, ``{name: {wall_s, cpu_s, calls}}``.  Worker
+        stages sum *across* workers, so their wall total can exceed
+        ``elapsed_s`` -- that surplus is the parallelism actually won.
+    """
+
+    mode: str
+    workers: int
+    chunks: int
+    frames: int
+    bits: int
+    elapsed_s: float
+    retries: int = 0
+    stages: dict = field(default_factory=dict)
+
+    @property
+    def frames_per_s(self) -> float:
+        """Camera frames processed per wall-clock second."""
+        return self.frames / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def bits_per_s(self) -> float:
+        """Payload bits decoded per wall-clock second of processing."""
+        return self.bits / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by the CLIs and the bench output)."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "chunks": self.chunks,
+            "frames": self.frames,
+            "bits": self.bits,
+            "elapsed_s": self.elapsed_s,
+            "retries": self.retries,
+            "frames_per_s": self.frames_per_s,
+            "bits_per_s": self.bits_per_s,
+            "stages": self.stages,
+        }
+
+    def summary(self) -> str:
+        """A small human-readable profile block for ``--profile`` output."""
+        lines = [
+            f"runtime: mode={self.mode} workers={self.workers} "
+            f"chunks={self.chunks} retries={self.retries}",
+            f"  {self.frames} frames in {self.elapsed_s:.2f} s "
+            f"({self.frames_per_s:.1f} frames/s, {self.bits_per_s / 1000:.2f} kbit/s)",
+        ]
+        for name in sorted(self.stages):
+            s = self.stages[name]
+            lines.append(
+                f"  {name:10s} wall={s['wall_s']:7.3f} s  cpu={s['cpu_s']:7.3f} s  "
+                f"calls={s['calls']}"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def merge(reports: "list[RuntimeReport]") -> "RuntimeReport | None":
+        """Fold several runs (e.g. transport rounds) into one report."""
+        reports = [r for r in reports if r is not None]
+        if not reports:
+            return None
+        timers = StageTimers()
+        for report in reports:
+            timers.merge(report.stages)
+        modes = {r.mode for r in reports}
+        return RuntimeReport(
+            mode=modes.pop() if len(modes) == 1 else "mixed",
+            workers=max(r.workers for r in reports),
+            chunks=sum(r.chunks for r in reports),
+            frames=sum(r.frames for r in reports),
+            bits=sum(r.bits for r in reports),
+            elapsed_s=sum(r.elapsed_s for r in reports),
+            retries=sum(r.retries for r in reports),
+            stages=timers.as_dict(),
+        )

@@ -1,0 +1,175 @@
+"""Zero-copy frame transfer between workers and the parent process.
+
+Pickling a captured frame back through the process pool's result queue
+costs a serialize + IPC + deserialize round trip per frame.  The
+:class:`SharedFramePool` replaces that with one ``multiprocessing``
+shared-memory segment carved into fixed-size slots: the parent acquires a
+slot, the worker writes its frame's pixels straight into the slot's
+buffer, and only a tiny :class:`SlotRef` (slot number + shape) travels
+through the queue.
+
+The pool is deliberately small: slots are recycled as results are
+drained, so the segment is sized for the in-flight window, not the whole
+run.  Workers reach the segment through fork inheritance (the engine
+ships the pool inside the fork-inherited worker context), which sidesteps
+the per-process ``resource_tracker`` re-registration that attach-by-name
+suffers from.  Everything degrades gracefully -- when shared memory
+cannot be created (locked-down ``/dev/shm``, exotic platforms) or the
+pool is exhausted, callers fall back to returning arrays through the
+result queue (see :func:`shared_memory_available`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None  # type: ignore[assignment]
+
+
+def shared_memory_available() -> bool:
+    """Whether shared-memory segments can actually be created here."""
+    if _shm is None:
+        return False
+    try:
+        probe = _shm.SharedMemory(create=True, size=16)
+    except OSError:
+        return False
+    probe.close()
+    try:
+        probe.unlink()
+    except OSError:  # pragma: no cover - unlink raced by the OS
+        pass
+    return True
+
+
+@dataclass(frozen=True)
+class SlotRef:
+    """A picklable handle to one frame sitting in the pool's segment."""
+
+    slot: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedFramePool:
+    """A slot allocator over one shared-memory segment.
+
+    Parameters
+    ----------
+    slot_shape, dtype:
+        Shape and dtype of the frames every slot holds (slots are
+        homogeneous; the camera's capture resolution is fixed per run).
+    n_slots:
+        Slots in the pool -- size it to the scheduler's in-flight window
+        (``workers + lookahead`` chunks worth of frames), not the run.
+
+    The parent :meth:`acquire`\\ s a slot before dispatching work and
+    :meth:`release`\\ s it after draining the result; workers only ever
+    :meth:`write` into slots the parent handed them, so the free list
+    needs no cross-process locking.
+    """
+
+    def __init__(
+        self, slot_shape: tuple[int, ...], dtype: np.dtype | str, n_slots: int
+    ) -> None:
+        check_positive_int(n_slots, "n_slots")
+        if _shm is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self.slot_shape = tuple(int(s) for s in slot_shape)
+        self.dtype = np.dtype(dtype)
+        self.n_slots = int(n_slots)
+        self.slot_bytes = int(np.prod(self.slot_shape)) * self.dtype.itemsize
+        if self.slot_bytes < 1:
+            raise ValueError(f"slot shape {slot_shape} holds zero bytes")
+        self._segment = _shm.SharedMemory(
+            create=True, size=self.slot_bytes * self.n_slots
+        )
+        self._free = list(range(self.n_slots - 1, -1, -1))
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Parent-side allocation
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """OS name of the backing segment."""
+        return self._segment.name
+
+    @property
+    def n_free(self) -> int:
+        """Slots currently available."""
+        return len(self._free)
+
+    def acquire(self) -> SlotRef:
+        """Take a free slot; raises when the pool is exhausted."""
+        if not self._free:
+            raise RuntimeError(
+                f"shared frame pool exhausted ({self.n_slots} slots all in flight)"
+            )
+        slot = self._free.pop()
+        return SlotRef(slot=slot, shape=self.slot_shape, dtype=self.dtype.str)
+
+    def release(self, ref: SlotRef) -> None:
+        """Return *ref*'s slot to the free list."""
+        if not (0 <= ref.slot < self.n_slots):
+            raise ValueError(f"slot {ref.slot} outside pool of {self.n_slots}")
+        if ref.slot in self._free:
+            raise ValueError(f"slot {ref.slot} released twice")
+        self._free.append(ref.slot)
+
+    def read(self, ref: SlotRef, copy: bool = True) -> np.ndarray:
+        """The frame in *ref*'s slot; copied by default so the slot can be recycled."""
+        view = self._slot_array(ref)
+        return np.array(view) if copy else view
+
+    def write(self, ref: SlotRef, frame: np.ndarray) -> SlotRef:
+        """Write *frame* into *ref*'s slot.
+
+        Called inside workers, on the pool object they inherited at fork
+        time -- the slot buffer is the very memory the parent reads.
+        """
+        frame = np.asarray(frame)
+        view = self._slot_array(ref)
+        if frame.shape != view.shape:
+            raise ValueError(f"frame {frame.shape} does not fit slot {view.shape}")
+        view[...] = frame
+        return ref
+
+    def _slot_array(self, ref: SlotRef) -> np.ndarray:
+        dtype = np.dtype(ref.dtype)
+        slot_bytes = int(np.prod(ref.shape)) * dtype.itemsize
+        offset = ref.slot * slot_bytes
+        return np.ndarray(ref.shape, dtype=dtype, buffer=self._segment.buf, offset=offset)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap and destroy the segment (idempotent; parent side only)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedFramePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

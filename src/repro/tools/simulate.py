@@ -5,6 +5,7 @@ Example::
     python -m repro.tools.simulate --video gray --delta 20 --tau 12
     python -m repro.tools.simulate --video video --delta 30 --scale full
     python -m repro.tools.simulate --json | jq .bit_accuracy
+    python -m repro.tools.simulate --workers 4 --profile
 """
 
 from __future__ import annotations
@@ -12,6 +13,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import time
 from dataclasses import replace
 
 from repro.analysis.experiments import ExperimentScale
@@ -50,6 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the LinkStats as a JSON object instead of the report",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the capture+decode stages (default: in-process)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the runtime's per-stage wall/CPU breakdown",
+    )
     return parser
 
 
@@ -72,7 +85,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{config.block_side_px}px, {config.bits_per_frame} bits/frame, "
             f"{config.data_frame_rate_hz:g} frames/s"
         )
-    run = run_link(config, scale.video(args.video), camera=camera, seed=args.seed)
+    wall0 = time.perf_counter()
+    run = run_link(
+        config,
+        scale.video(args.video),
+        camera=camera,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    elapsed_s = time.perf_counter() - wall0
     stats = run.stats
     if args.json:
         record = dataclasses.asdict(stats)
@@ -82,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
         record["tau"] = args.tau
         record["scale"] = args.scale
         record["seed"] = args.seed
+        record["elapsed_s"] = elapsed_s
+        record["frames_per_s"] = len(run.captures) / elapsed_s if elapsed_s > 0 else 0.0
+        if args.profile and run.runtime is not None:
+            record["runtime"] = run.runtime.as_dict()
         print(json.dumps(record, indent=2))
         return 0
     print(f"  decoded data frames : {stats.n_data_frames}")
@@ -90,6 +115,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  parity-detected     : {stats.parity_error_rate * 100:.1f}%")
     print(f"  bit accuracy        : {stats.bit_accuracy * 100:.2f}%")
     print(f"  throughput          : {stats.throughput_kbps:.2f} kbps")
+    print(
+        f"  wall clock          : {elapsed_s:.2f} s "
+        f"({len(run.captures) / elapsed_s:.1f} frames/s)"
+    )
+    if args.profile and run.runtime is not None:
+        print(run.runtime.summary())
     return 0
 
 

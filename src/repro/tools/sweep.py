@@ -4,15 +4,18 @@ Example::
 
     python -m repro.tools.sweep --parameter tau --values 8 10 12 14 16
     python -m repro.tools.sweep --parameter amplitude --values 10 20 30 40 --video video
+    python -m repro.tools.sweep --parameter tau --values 8 10 12 14 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import dataclass
 
 from repro.analysis.experiments import ExperimentScale
 from repro.analysis.reporting import format_table
 from repro.core.pipeline import run_link
+from repro.runtime.engine import ExecutionEngine
 
 SWEEPABLE = {
     "tau": int,
@@ -20,6 +23,36 @@ SWEEPABLE = {
     "pixels_per_block": int,
     "decision_margin": float,
 }
+
+
+@dataclass(frozen=True)
+class _SweepContext:
+    """Everything one sweep cell needs besides its value."""
+
+    scale: ExperimentScale
+    parameter: str
+    video_name: str
+    seed: int
+
+
+def _sweep_cell(value, ctx: _SweepContext) -> list:
+    """One table row; module-level so the engine can dispatch it to workers."""
+    try:
+        config = ctx.scale.config().with_updates(**{ctx.parameter: value})
+    except ValueError as exc:
+        return [value, f"invalid: {exc}", "", ""]
+    stats = run_link(
+        config,
+        ctx.scale.video(ctx.video_name),
+        camera=ctx.scale.camera(),
+        seed=ctx.seed,
+    ).stats
+    return [
+        value,
+        f"{stats.available_gob_ratio * 100:.1f}%",
+        f"{stats.gob_error_rate * 100:.1f}%",
+        f"{stats.throughput_kbps:.2f}",
+    ]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("quick", "benchmark", "full"), default="benchmark"
     )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run sweep cells on this many worker processes (default: serial)",
+    )
     return parser
 
 
@@ -55,24 +94,16 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     scale = getattr(ExperimentScale, args.scale)()
-    camera = scale.camera()
-    video = scale.video(args.video)
-    rows = []
-    for value in values:
-        try:
-            config = scale.config().with_updates(**{args.parameter: value})
-        except ValueError as exc:
-            rows.append([value, f"invalid: {exc}", "", ""])
-            continue
-        stats = run_link(config, video, camera=camera, seed=args.seed).stats
-        rows.append(
-            [
-                value,
-                f"{stats.available_gob_ratio * 100:.1f}%",
-                f"{stats.gob_error_rate * 100:.1f}%",
-                f"{stats.throughput_kbps:.2f}",
-            ]
-        )
+    context = _SweepContext(
+        scale=scale, parameter=args.parameter, video_name=args.video, seed=args.seed
+    )
+    if args.workers is not None and args.workers > 1:
+        # Each cell is one independent run_link; the engine spreads cells
+        # over processes and falls back to serial if the pool dies.
+        engine = ExecutionEngine(workers=args.workers)
+        rows = engine.map(_sweep_cell, values, context=context)
+    else:
+        rows = [_sweep_cell(value, context) for value in values]
     print(
         format_table(
             [args.parameter, "avail", "err", "throughput kbps"],

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import time
 
 import numpy as np
 
@@ -79,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="emit TransportStats as JSON"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per forward pass (default: in-process)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the runtime's per-stage wall/CPU breakdown per mode",
+    )
     return parser
 
 
@@ -121,7 +133,9 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     results = []
+    records = []
     for mode in modes:
+        wall0 = time.perf_counter()
         run = run_transport_link(
             config,
             video,
@@ -135,16 +149,26 @@ def main(argv: list[str] | None = None) -> int:
             extra_gob_loss=args.loss,
             feedback_loss=args.feedback_loss,
             join_offset=args.join_offset,
+            workers=args.workers,
         )
+        elapsed_s = time.perf_counter() - wall0
         results.append(run.stats)
+        record = dataclasses.asdict(run.stats)
+        record["elapsed_s"] = elapsed_s
+        frames = run.runtime.frames if run.runtime is not None else 0
+        record["frames_per_s"] = frames / elapsed_s if elapsed_s > 0 else 0.0
+        if args.profile and run.runtime is not None:
+            record["runtime"] = run.runtime.as_dict()
+        records.append(record)
         if not args.json:
-            print(f"  {run.stats.row()}")
+            print(f"  {run.stats.row()}  [{elapsed_s:.2f} s]")
             if run.arq_stats is not None:
                 print(f"           {run.arq_stats.row()}")
+            if args.profile and run.runtime is not None:
+                print(run.runtime.summary())
 
     if args.json:
-        payload_out = [dataclasses.asdict(stats) for stats in results]
-        print(json.dumps(payload_out[0] if args.mode != "all" else payload_out, indent=2))
+        print(json.dumps(records[0] if args.mode != "all" else records, indent=2))
     if args.mode == "all":
         return 0
     return 0 if all(stats.delivered for stats in results) else 1

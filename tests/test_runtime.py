@@ -1,0 +1,302 @@
+"""The parallel execution engine: scheduling, shared memory, robustness.
+
+The load-bearing guarantees tested here:
+
+* **Determinism** -- ``run_link(workers=4)`` produces *bit-identical*
+  captures, verdicts and stats to ``workers=1`` (spawn-keyed per-capture
+  RNG streams, order-independent assembly).
+* **Robustness** -- a worker process dying breaks the pool; the engine
+  rebuilds it a bounded number of times and then completes the work
+  in-process, so callers always get their results.
+* **Resource hygiene** -- the shared-memory pool recycles slots and
+  survives exhaustion/double-release misuse loudly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentScale
+from repro.core.pipeline import run_link
+from repro.runtime import (
+    ExecutionEngine,
+    RuntimeReport,
+    SharedFramePool,
+    StageTimers,
+    plan_chunks,
+    shared_memory_available,
+    spawn_rng,
+)
+from repro.runtime.engine import resolve_start_method
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+class TestPlanChunks:
+    def test_covers_range_exactly_without_overlap(self):
+        chunks = plan_chunks(23, n_chunks=5, start=7)
+        items = [i for c in chunks for i in c.items]
+        assert items == list(range(7, 30))
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [len(c) for c in plan_chunks(23, n_chunks=5)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 23
+
+    def test_chunk_size_variant(self):
+        chunks = plan_chunks(10, chunk_size=4)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+
+    def test_more_chunks_than_items_collapses(self):
+        assert len(plan_chunks(3, n_chunks=8)) == 3
+
+    def test_rejects_both_arguments(self):
+        with pytest.raises(ValueError):
+            plan_chunks(10, n_chunks=2, chunk_size=3)
+
+    def test_plan_is_deterministic(self):
+        assert plan_chunks(17, n_chunks=4, seed=9) == plan_chunks(17, n_chunks=4, seed=9)
+
+
+class TestSpawnRng:
+    def test_same_key_same_stream(self):
+        a = spawn_rng(3, 5).standard_normal(8)
+        b = spawn_rng(3, 5).standard_normal(8)
+        assert np.array_equal(a, b)
+
+    def test_distinct_keys_distinct_streams(self):
+        a = spawn_rng(3, 5).standard_normal(8)
+        b = spawn_rng(3, 6).standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_chunk_item_rng_matches_direct_spawn(self):
+        chunk = plan_chunks(10, n_chunks=2, seed=11)[1]
+        item = chunk.start
+        assert np.array_equal(
+            chunk.item_rng(item).standard_normal(4),
+            spawn_rng(11, item).standard_normal(4),
+        )
+
+    def test_item_outside_chunk_rejected(self):
+        chunk = plan_chunks(10, n_chunks=2, seed=11)[0]
+        with pytest.raises(ValueError):
+            chunk.item_rng(chunk.stop)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory pool
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory here")
+class TestSharedFramePool:
+    def test_roundtrip(self):
+        with SharedFramePool((4, 6), np.float32, n_slots=2) as pool:
+            frame = np.arange(24, dtype=np.float32).reshape(4, 6)
+            ref = pool.acquire()
+            pool.write(ref, frame)
+            assert np.array_equal(pool.read(ref), frame)
+
+    def test_slots_recycle(self):
+        with SharedFramePool((2, 2), np.float32, n_slots=1) as pool:
+            ref = pool.acquire()
+            assert pool.n_free == 0
+            pool.release(ref)
+            assert pool.n_free == 1
+            pool.acquire()  # usable again
+
+    def test_exhaustion_raises(self):
+        with SharedFramePool((2, 2), np.float32, n_slots=1) as pool:
+            pool.acquire()
+            with pytest.raises(RuntimeError, match="exhausted"):
+                pool.acquire()
+
+    def test_double_release_rejected(self):
+        with SharedFramePool((2, 2), np.float32, n_slots=2) as pool:
+            ref = pool.acquire()
+            pool.release(ref)
+            with pytest.raises(ValueError, match="twice"):
+                pool.release(ref)
+
+    def test_shape_mismatch_rejected(self):
+        with SharedFramePool((2, 2), np.float32, n_slots=1) as pool:
+            ref = pool.acquire()
+            with pytest.raises(ValueError, match="fit"):
+                pool.write(ref, np.zeros((3, 3), dtype=np.float32))
+
+    def test_read_copy_survives_slot_reuse(self):
+        with SharedFramePool((2, 2), np.float32, n_slots=1) as pool:
+            ref = pool.acquire()
+            pool.write(ref, np.full((2, 2), 5.0, dtype=np.float32))
+            copied = pool.read(ref, copy=True)
+            pool.release(ref)
+            ref2 = pool.acquire()
+            pool.write(ref2, np.zeros((2, 2), dtype=np.float32))
+            assert np.all(copied == 5.0)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+def _square(item, context):
+    return item * item + (context or 0)
+
+
+def _crash_in_worker(item, context):
+    """Dies hard inside pool workers; succeeds in the parent process."""
+    if item == "bomb" and multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return f"ok:{item}"
+
+
+def _raise_value_error(item, context):
+    raise ValueError(f"bad item {item}")
+
+
+class TestExecutionEngine:
+    def test_serial_map(self):
+        engine = ExecutionEngine(workers=1)
+        assert engine.map(_square, [1, 2, 3], context=10) == [11, 14, 19]
+        assert engine.stats.mode == "serial"
+
+    @pytest.mark.skipif(
+        resolve_start_method() is None, reason="no multiprocessing here"
+    )
+    def test_parallel_map_matches_serial(self):
+        serial = ExecutionEngine(workers=1).map(_square, list(range(9)))
+        parallel = ExecutionEngine(workers=3).map(_square, list(range(9)))
+        assert parallel == serial
+
+    def test_on_result_sees_every_item(self):
+        seen = {}
+        ExecutionEngine(workers=1).map(
+            _square, [2, 4], on_result=lambda i, r: seen.setdefault(i, r)
+        )
+        assert seen == {0: 4, 1: 16}
+
+    def test_prepare_replaces_item(self):
+        engine = ExecutionEngine(workers=1)
+        out = engine.map(_square, [1, 2], prepare=lambda i, item: item + 1)
+        assert out == [4, 9]
+
+    @pytest.mark.skipif(
+        resolve_start_method() is None, reason="no multiprocessing here"
+    )
+    def test_worker_crash_retries_then_falls_back_serial(self):
+        engine = ExecutionEngine(workers=2, max_retries=1)
+        out = engine.map(_crash_in_worker, ["a", "bomb", "b"])
+        assert out == ["ok:a", "ok:bomb", "ok:b"]
+        assert engine.stats.mode == "serial-fallback"
+        assert engine.stats.crashes >= 1
+        assert engine.stats.retries == 1
+        assert engine.stats.serial_items >= 1
+
+    @pytest.mark.skipif(
+        resolve_start_method() is None, reason="no multiprocessing here"
+    )
+    def test_worker_crash_without_fallback_raises(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        engine = ExecutionEngine(workers=2, max_retries=0, fallback_serial=False)
+        with pytest.raises(BrokenProcessPool):
+            engine.map(_crash_in_worker, ["bomb"] * 2 + ["c"])
+
+    def test_ordinary_exception_propagates_unretried(self):
+        engine = ExecutionEngine(workers=1)
+        with pytest.raises(ValueError, match="bad item"):
+            engine.map(_raise_value_error, [1])
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_stage_timers_merge(self):
+        a, b = StageTimers(), StageTimers()
+        with a.stage("render"):
+            pass
+        with b.stage("render"):
+            pass
+        with b.stage("decide"):
+            pass
+        a.merge(b)
+        merged = a.as_dict()
+        assert merged["render"]["calls"] == 2
+        assert merged["decide"]["calls"] == 1
+
+    def test_report_rates_and_merge(self):
+        r1 = RuntimeReport(
+            mode="parallel", workers=2, chunks=2, frames=10, bits=800, elapsed_s=2.0
+        )
+        r2 = RuntimeReport(
+            mode="parallel", workers=2, chunks=1, frames=5, bits=400, elapsed_s=1.0
+        )
+        assert r1.frames_per_s == pytest.approx(5.0)
+        merged = RuntimeReport.merge([r1, r2])
+        assert merged.frames == 15
+        assert merged.bits == 1200
+        assert merged.elapsed_s == pytest.approx(3.0)
+        assert merged.mode == "parallel"
+        assert "frames_per_s" in merged.as_dict()
+
+    def test_merge_empty_is_none(self):
+        assert RuntimeReport.merge([]) is None
+
+
+# ----------------------------------------------------------------------
+# End-to-end determinism: the headline contract
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def quick_setup():
+    scale = ExperimentScale.quick()
+    return scale, scale.config(amplitude=20.0, tau=12)
+
+
+class TestParallelDeterminism:
+    @pytest.mark.skipif(
+        resolve_start_method() is None, reason="no multiprocessing here"
+    )
+    def test_workers4_bit_identical_to_serial(self, quick_setup):
+        scale, config = quick_setup
+        serial = run_link(
+            config, scale.video("gray"), camera=scale.camera(), seed=1, workers=1
+        )
+        parallel = run_link(
+            config, scale.video("gray"), camera=scale.camera(), seed=1, workers=4
+        )
+        assert serial.stats == parallel.stats
+        assert len(serial.captures) == len(parallel.captures)
+        for a, b in zip(serial.captures, parallel.captures):
+            assert a.index == b.index
+            assert a.start_time_s == b.start_time_s
+            assert np.array_equal(a.pixels, b.pixels)
+        for a, b in zip(serial.decoded, parallel.decoded):
+            assert a.index == b.index
+            assert np.array_equal(a.bits, b.bits)
+            assert np.array_equal(a.noise_map, b.noise_map)
+            assert a.threshold == b.threshold
+
+    def test_default_workers_none_equals_workers1(self, quick_setup):
+        scale, config = quick_setup
+        default = run_link(config, scale.video("gray"), camera=scale.camera(), seed=2)
+        explicit = run_link(
+            config, scale.video("gray"), camera=scale.camera(), seed=2, workers=1
+        )
+        assert default.stats == explicit.stats
+        assert all(
+            np.array_equal(a.pixels, b.pixels)
+            for a, b in zip(default.captures, explicit.captures)
+        )
+
+    def test_runtime_report_attached(self, quick_setup):
+        scale, config = quick_setup
+        run = run_link(config, scale.video("gray"), camera=scale.camera(), seed=1)
+        report = run.runtime
+        assert report is not None
+        assert report.mode == "serial"
+        assert report.frames == len(run.captures)
+        assert report.frames_per_s > 0
+        assert {"render", "observe", "decide", "score"} <= set(report.stages)

@@ -45,6 +45,45 @@ class TestSimulateCLI:
             record["throughput_bps"] / 1000.0
         )
 
+    def test_json_carries_wall_clock_timing(self, capsys):
+        code = simulate.main(["--video", "gray", "--scale", "quick", "--json"])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["elapsed_s"] > 0.0
+        assert record["frames_per_s"] > 0.0
+
+    def test_workers_flag_matches_serial_stats(self, capsys):
+        code = simulate.main(
+            ["--video", "gray", "--scale", "quick", "--seed", "3", "--json"]
+        )
+        serial = json.loads(capsys.readouterr().out)
+        code2 = simulate.main(
+            [
+                "--video", "gray", "--scale", "quick", "--seed", "3",
+                "--json", "--workers", "2",
+            ]
+        )
+        parallel = json.loads(capsys.readouterr().out)
+        assert code == code2 == 0
+        assert parallel["bit_accuracy"] == serial["bit_accuracy"]
+        assert parallel["throughput_bps"] == serial["throughput_bps"]
+
+    def test_profile_flag_prints_stage_breakdown(self, capsys):
+        code = simulate.main(["--video", "gray", "--scale", "quick", "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "runtime: mode=serial" in out
+        assert "render" in out
+
+    def test_profile_json_embeds_runtime_report(self, capsys):
+        code = simulate.main(
+            ["--video", "gray", "--scale", "quick", "--json", "--profile"]
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["runtime"]["frames"] > 0
+        assert "render" in record["runtime"]["stages"]
+
 
 class TestTransferCLI:
     def test_parser_defaults(self):
@@ -69,6 +108,20 @@ class TestTransferCLI:
         assert code == 0
         assert record["mode"] == "arq"
         assert record["delivered"] is True
+        assert record["elapsed_s"] > 0.0
+        assert record["frames_per_s"] > 0.0
+
+    def test_workers_and_profile_flags(self, capsys):
+        code = transfer.main(
+            [
+                "--bytes", "40", "--mode", "plain", "--seed", "3", "--delta", "30",
+                "--json", "--workers", "2", "--profile",
+            ]
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)  # plain mode may legitimately fail to deliver
+        assert record["runtime"]["workers"] == 2
+        assert record["runtime"]["frames"] > 0
 
     def test_file_payload(self, tmp_path, capsys):
         path = tmp_path / "payload.bin"
@@ -150,3 +203,11 @@ class TestSweepCLI:
     def test_unknown_parameter_rejected(self):
         with pytest.raises(SystemExit):
             sweep.main(["--parameter", "nonsense", "--values", "1"])
+
+    def test_parallel_sweep_matches_serial_table(self, capsys):
+        args = ["--parameter", "tau", "--values", "10", "12", "--scale", "quick"]
+        assert sweep.main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert sweep.main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
