@@ -4,6 +4,7 @@ Nothing in here is part of the public API; import from the relevant
 subpackage instead.
 """
 
+from repro._util.seeding import stable_seed
 from repro._util.validation import (
     check_fraction,
     check_frame,
@@ -18,4 +19,5 @@ __all__ = [
     "check_in_range",
     "check_positive",
     "check_positive_int",
+    "stable_seed",
 ]

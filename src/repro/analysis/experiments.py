@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util import stable_seed
 from repro.camera.capture import CameraModel
 from repro.core.config import InFrameConfig
 from repro.core.pipeline import LinkRun, run_link
@@ -232,7 +233,7 @@ def run_fig6_left(
         for value in brightness_values:
             timeline = flicker_timeline(delta, tau, float(value))
             results[(delta, value)] = panel.study(
-                timeline, duration_s, stimulus_seed=hash((delta, value)) % (2**32)
+                timeline, duration_s, stimulus_seed=stable_seed("fig6-left", delta, value)
             )
     return results
 
@@ -251,7 +252,7 @@ def run_fig6_right(
         for tau in taus:
             timeline = flicker_timeline(delta, tau, brightness_value)
             results[(delta, tau)] = panel.study(
-                timeline, duration_s, stimulus_seed=hash((delta, tau)) % (2**32)
+                timeline, duration_s, stimulus_seed=stable_seed("fig6-right", delta, tau)
             )
     return results
 
@@ -261,6 +262,11 @@ def expected_throughput_kbps(stats: LinkStats) -> float:
     return stats.throughput_kbps
 
 
-def rng_for(*key) -> np.random.Generator:
-    """A deterministic generator namespaced by *key* (experiment hygiene)."""
-    return np.random.default_rng(tuple(abs(hash(k)) % (2**31) for k in key))
+def rng_for(*key: object) -> np.random.Generator:
+    """A deterministic generator namespaced by *key* (experiment hygiene).
+
+    Seeds derive from :func:`repro._util.stable_seed`, never ``hash()``:
+    str hashing is salted per process, which would give every worker its
+    own stream and silently break ``workers=N`` bit-identity.
+    """
+    return np.random.default_rng(tuple(stable_seed(k) for k in key))

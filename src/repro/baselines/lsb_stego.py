@@ -47,7 +47,7 @@ class LSBSteganography:
             raise ValueError(
                 f"{bits.size} bits exceed capacity {self.capacity(frame.shape)}"
             )
-        values = np.round(frame).astype(np.uint8).ravel()
+        values = np.clip(np.round(frame), 0, 255).astype(np.uint8).ravel()
         n_pixels = (bits.size + self.bits_per_pixel - 1) // self.bits_per_pixel
         padded = np.zeros(n_pixels * self.bits_per_pixel, dtype=bool)
         padded[: bits.size] = bits

@@ -1,0 +1,40 @@
+"""The rule catalogue.
+
+Adding a rule: subclass :class:`repro.checks.engine.Rule` in the
+matching module (or a new one), give it a stable ``rule_id``, and list
+it in :func:`all_rules`.  See ``docs/static-analysis.md`` for the
+authoring guide.
+"""
+
+from __future__ import annotations
+
+from repro.checks.engine import Rule
+from repro.checks.rules.api import PublicApiAnnotationRule
+from repro.checks.rules.dtype import Uint8ArithmeticRule, UnclippedUint8CastRule
+from repro.checks.rules.resources import ExecutorRule, SharedMemoryRule
+from repro.checks.rules.rng import (
+    HashInSeedRule,
+    NumpyGlobalRandomRule,
+    StdlibRandomRule,
+    UnseededDefaultRngRule,
+    UntypedRngParamRule,
+)
+
+__all__ = ["all_rules"]
+
+
+def all_rules() -> list[Rule]:
+    """One fresh instance of every registered rule, in rule-id order."""
+    rules: list[Rule] = [
+        NumpyGlobalRandomRule(),
+        StdlibRandomRule(),
+        UnseededDefaultRngRule(),
+        UntypedRngParamRule(),
+        HashInSeedRule(),
+        Uint8ArithmeticRule(),
+        UnclippedUint8CastRule(),
+        SharedMemoryRule(),
+        ExecutorRule(),
+        PublicApiAnnotationRule(),
+    ]
+    return sorted(rules, key=lambda rule: rule.rule_id)

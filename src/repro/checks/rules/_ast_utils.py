@@ -1,0 +1,137 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    ``np.random.default_rng`` resolves whether ``np`` is a Name or the
+    chain hangs off a deeper attribute; chains through calls/subscripts
+    resolve to ``None`` (they are not import references).
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, else ``None``."""
+    return dotted_name(node.func)
+
+
+def walk_expr_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an expression but do not descend into subscript indices.
+
+    uint8 arrays are routinely *indexed* by wider integer arithmetic
+    (``table[log_a + log_b]``); that arithmetic is not uint8 math, so
+    dtype rules must not see it.
+    """
+    yield node
+    for child_field, value in ast.iter_fields(node):
+        if isinstance(node, ast.Subscript) and child_field == "slice":
+            continue
+        if isinstance(value, ast.AST):
+            yield from walk_expr_shallow(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.AST):
+                    yield from walk_expr_shallow(item)
+
+
+def contains_call_to(node: ast.AST, suffixes: tuple[str, ...]) -> bool:
+    """Whether *node*'s subtree calls anything whose name ends in *suffixes*.
+
+    Matches both ``np.clip(...)`` (dotted name) and ``arr.clip(...)``
+    (method attribute), so it works on aliased imports and methods alike.
+    """
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        name = call_name(child)
+        if name is not None and name.rsplit(".", 1)[-1] in suffixes:
+            return True
+        if isinstance(child.func, ast.Attribute) and child.func.attr in suffixes:
+            return True
+    return False
+
+
+def annotation_text(node: ast.expr | None) -> str:
+    """Source text of an annotation node (empty string when absent)."""
+    if node is None:
+        return ""
+    return ast.unparse(node)
+
+
+def is_uint8_dtype_expr(node: ast.expr) -> bool:
+    """Whether an expression denotes the uint8 dtype (``np.uint8``/"uint8")."""
+    if isinstance(node, ast.Constant) and node.value in ("uint8", "|u1", "u1"):
+        return True
+    name = dotted_name(node)
+    return name is not None and name.rsplit(".", 1)[-1] == "uint8"
+
+
+_WIDE_DTYPES = frozenset(
+    {
+        "int16",
+        "int32",
+        "int64",
+        "uint16",
+        "uint32",
+        "uint64",
+        "float16",
+        "float32",
+        "float64",
+        "intp",
+        "int_",
+        "float_",
+        "double",
+    }
+)
+
+
+def is_widening_dtype_expr(node: ast.expr) -> bool:
+    """Whether an expression denotes a dtype wider than uint8."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.lstrip("<>|=") in {"i2", "i4", "i8", "f2", "f4", "f8"} or (
+            node.value in _WIDE_DTYPES
+        )
+    name = dotted_name(node)
+    if name is None:
+        return False
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf in _WIDE_DTYPES or leaf in ("int", "float")
+
+
+def enclosing_functions(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Yield ``(function_node, ancestor_stack)`` for every def in *tree*.
+
+    The ancestor stack is outermost-first and excludes the function
+    itself; it lets rules see whether a def is a method (parent is a
+    ClassDef) or nested.
+    """
+    stack: list[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, list(stack)
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                stack.append(child)
+                yield from visit(child)
+                stack.pop()
+            else:
+                yield from visit(child)
+
+    yield from visit(tree)

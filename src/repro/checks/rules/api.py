@@ -1,0 +1,126 @@
+"""Public-API typing rule.
+
+``repro.core``, ``repro.runtime``, ``repro.transport`` and
+``repro.checks`` are the packages other code builds on; their public
+surface must be fully annotated so mypy's strict profile (see
+``pyproject.toml``) has real types to check and callers get a contract
+instead of a guess.  The rule is the in-repo enforcement of the same
+gate CI runs through mypy -- it needs no third-party install, so it
+catches regressions even in offline environments.
+
+Rules
+-----
+API001
+    A public function or method in a typed package is missing a
+    parameter or return annotation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.checks.engine import FileContext, Finding, Rule
+from repro.checks.rules._ast_utils import enclosing_functions
+
+#: Sub-packages of ``repro`` held to the strict-typing bar.
+TYPED_PACKAGES = ("core", "runtime", "transport", "checks")
+
+#: Dunders that are part of a class's public behaviour contract.
+_CHECKED_DUNDERS = frozenset(
+    {
+        "__init__",
+        "__post_init__",
+        "__call__",
+        "__enter__",
+        "__exit__",
+        "__iter__",
+        "__next__",
+        "__len__",
+        "__getitem__",
+        "__setitem__",
+        "__contains__",
+    }
+)
+
+
+def _is_public_name(name: str) -> bool:
+    if name in _CHECKED_DUNDERS:
+        return True
+    return not name.startswith("_")
+
+
+class PublicApiAnnotationRule(Rule):
+    """API001: public functions in typed packages carry complete annotations."""
+
+    rule_id = "API001"
+    description = "public functions in typed packages must be fully annotated"
+
+    def applies_to(self, relpath: str) -> bool:
+        parts = Path(relpath).parts
+        if "repro" in parts:
+            index = parts.index("repro")
+            remainder = parts[index + 1 :]
+            # Files directly in ``repro/`` (e.g. __init__) are exempt;
+            # sub-packages are checked only when listed as typed.
+            return len(remainder) >= 2 and remainder[0] in TYPED_PACKAGES
+        # Outside the repro package (fixtures, scripts) the rule applies
+        # wherever the engine is pointed.
+        return True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node, ancestors in enclosing_functions(context.tree):
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            # Only module-level functions and methods of (possibly nested)
+            # classes form the public surface; helpers nested inside a
+            # function body are local and exempt.
+            if not all(isinstance(a, ast.ClassDef) for a in ancestors):
+                continue
+            parent = ancestors[-1] if ancestors else None
+            if not _is_public_name(node.name):
+                continue
+            if any(a.name.startswith("_") for a in ancestors if isinstance(a, ast.ClassDef)):
+                continue
+            yield from self._check_signature(context, node, parent)
+
+    def _check_signature(
+        self,
+        context: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        parent: ast.AST | None,
+    ) -> Iterator[Finding]:
+        args = node.args
+        missing: list[str] = []
+        is_method = isinstance(parent, ast.ClassDef)
+        decorators = {
+            name.rsplit(".", 1)[-1]
+            for name in (ast.unparse(d) for d in node.decorator_list)
+        }
+        positional = [*args.posonlyargs, *args.args]
+        skip_first = is_method and "staticmethod" not in decorators
+        for index, param in enumerate(positional):
+            if skip_first and index == 0:  # self / cls
+                continue
+            if param.annotation is None:
+                missing.append(param.arg)
+        for param in args.kwonlyargs:
+            if param.annotation is None:
+                missing.append(param.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if missing:
+            yield self.finding(
+                context,
+                node,
+                f"public function {node.name}() is missing parameter "
+                f"annotations: {', '.join(missing)}",
+            )
+        if node.returns is None:
+            yield self.finding(
+                context,
+                node,
+                f"public function {node.name}() is missing a return annotation",
+            )

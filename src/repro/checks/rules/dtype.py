@@ -1,0 +1,170 @@
+"""uint8 frame-math rules.
+
+The paper caps multiplexed pixel values to [0, 255] by *locally adjusting
+the amplitude* (Section 3.3) -- the complementary pair stays complementary
+because the clip never truncates.  numpy uint8 arithmetic, by contrast,
+wraps silently: ``np.uint8(250) + 10 == 4``, which flips a near-white
+pixel to near-black and destroys the pair's zero-mean property.  These
+rules force the only safe idiom: widen to a signed/float dtype, do the
+±delta math, ``clip`` to [0, 255], then cast back.
+
+Rules
+-----
+DT001
+    Additive/multiplicative arithmetic on a local variable known to hold
+    a uint8 array, with no widening cast in the expression.
+DT002
+    ``.astype(np.uint8)`` applied to the result of arithmetic or
+    rounding without a ``clip`` anywhere in the cast expression.
+    (Arithmetic inside subscript *indices* is exempt -- indexing a table
+    by a wider sum is not uint8 math.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checks.engine import FileContext, Finding, Rule
+from repro.checks.rules._ast_utils import (
+    call_name,
+    contains_call_to,
+    is_uint8_dtype_expr,
+    is_widening_dtype_expr,
+    walk_expr_shallow,
+)
+
+#: Array constructors whose ``dtype=`` keyword fixes the element type.
+_ARRAY_CTORS = frozenset(
+    {"zeros", "ones", "empty", "full", "asarray", "array", "arange", "frombuffer"}
+)
+
+#: Arithmetic operators that wrap on uint8 (bitwise ops are deliberate bit math).
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Pow)
+
+
+def _is_uint8_producer(node: ast.expr) -> bool:
+    """Whether an expression evidently evaluates to a uint8 array."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    if name is None:
+        # ``something().astype(np.uint8)`` -- callee is an attribute chain
+        # through a call; fall through to the astype check below.
+        pass
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+        return bool(node.args) and is_uint8_dtype_expr(node.args[0])
+    if name is not None and name.rsplit(".", 1)[-1] in _ARRAY_CTORS:
+        for kw in node.keywords:
+            if kw.arg == "dtype" and is_uint8_dtype_expr(kw.value):
+                return True
+    return False
+
+
+def _has_widening(node: ast.AST) -> bool:
+    """Whether the expression widens via astype/np-scalar constructors."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        if isinstance(child.func, ast.Attribute) and child.func.attr == "astype":
+            if child.args and is_widening_dtype_expr(child.args[0]):
+                return True
+        name = call_name(child)
+        if name is not None and is_widening_dtype_expr(child.func):
+            return True
+    return False
+
+
+class Uint8ArithmeticRule(Rule):
+    """DT001: arithmetic on uint8 arrays must widen first."""
+
+    rule_id = "DT001"
+    description = "uint8 arithmetic wraps at 255; widen, clip, cast back"
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for scope in ast.walk(context.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                continue
+            tainted = self._uint8_locals(scope)
+            if not tainted:
+                continue
+            yield from self._scan_scope(context, scope, tainted)
+
+    def _uint8_locals(self, scope: ast.AST) -> set[str]:
+        tainted: set[str] = set()
+        for node in self._scope_nodes(scope):
+            if isinstance(node, ast.Assign) and _is_uint8_producer(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_uint8_producer(node.value) and isinstance(node.target, ast.Name):
+                    tainted.add(node.target.id)
+        return tainted
+
+    def _scope_nodes(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Nodes of *scope* without descending into nested defs."""
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield child
+            yield from self._scope_nodes(child)
+
+    def _scan_scope(
+        self, context: FileContext, scope: ast.AST, tainted: set[str]
+    ) -> Iterator[Finding]:
+        for node in self._scope_nodes(scope):
+            if not isinstance(node, ast.BinOp) or not isinstance(node.op, _ARITH_OPS):
+                continue
+            involved = [
+                operand.id
+                for operand in (node.left, node.right)
+                if isinstance(operand, ast.Name) and operand.id in tainted
+            ]
+            if not involved or _has_widening(node):
+                continue
+            names = ", ".join(sorted(set(involved)))
+            yield self.finding(
+                context,
+                node,
+                f"arithmetic on uint8 array {names!r} wraps at 255; widen with "
+                f".astype(np.int16) (or float), clip to [0, 255], then cast back",
+            )
+
+
+class UnclippedUint8CastRule(Rule):
+    """DT002: casting computed values to uint8 requires a clip."""
+
+    rule_id = "DT002"
+    description = "astype(np.uint8) on arithmetic without clip wraps out-of-range values"
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Attribute) and node.func.attr == "astype"):
+                continue
+            if not node.args or not is_uint8_dtype_expr(node.args[0]):
+                continue
+            value = node.func.value  # the expression being cast
+            if contains_call_to(value, ("clip",)):
+                continue
+            if not self._has_computation(value):
+                continue
+            yield self.finding(
+                context,
+                node,
+                "astype(np.uint8) on a computed value without clip(0, 255) wraps "
+                "out-of-range pixels (paper §3.3 caps, never wraps); clip first",
+            )
+
+    def _has_computation(self, value: ast.expr) -> bool:
+        for child in walk_expr_shallow(value):
+            if isinstance(child, ast.BinOp) and isinstance(child.op, _ARITH_OPS):
+                return True
+            if isinstance(child, ast.Call):
+                name = call_name(child)
+                leaf = name.rsplit(".", 1)[-1] if name else ""
+                if leaf in ("round", "rint", "around"):
+                    return True
+        return False

@@ -1,0 +1,251 @@
+"""Seed-discipline rules.
+
+PR 2's ``workers=N`` bit-identity guarantee holds only if every random
+draw flows through an explicitly seeded, explicitly threaded
+:class:`numpy.random.Generator`.  Module-global state (``np.random.*``,
+stdlib ``random``) is shared mutable state across the whole process --
+one stray draw reorders every stream after it -- and unseeded or
+``hash()``-derived generators differ across processes (``PYTHONHASHSEED``
+salts ``str`` hashes), which silently breaks ``workers=N`` replays.
+
+Rules
+-----
+RNG001
+    Call to a legacy ``np.random`` module-global function
+    (``np.random.seed``, ``np.random.normal`` ...) or ``RandomState``.
+RNG002
+    Call into the stdlib ``random`` module (or a ``from random import``
+    alias) -- process-global state, not seedable per experiment.
+RNG003
+    ``np.random.default_rng()`` with no (or ``None``) seed: the stream
+    changes on every run, so results are unreproducible by construction.
+RNG004
+    A parameter that carries a generator (``rng``, ``generator``,
+    ``*_rng``) without a ``Generator`` annotation -- the type is the
+    contract that randomness is threaded, not conjured locally.
+RNG005
+    Builtin ``hash()`` inside a seed expression (``default_rng``,
+    ``SeedSequence``, ``spawn_rng`` arguments, or a ``*seed*=`` keyword):
+    salted str hashing makes the seed differ per process.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checks.engine import FileContext, Finding, Rule
+from repro.checks.rules._ast_utils import annotation_text, call_name
+
+#: Legacy module-global draw/state functions on ``np.random``.
+_GLOBAL_STATE_FNS = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "random_integers",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "choice",
+        "shuffle",
+        "permutation",
+        "poisson",
+        "binomial",
+        "exponential",
+        "beta",
+        "gamma",
+        "laplace",
+        "bytes",
+        "RandomState",
+    }
+)
+
+#: Names allowed on ``np.random`` -- the Generator API plus seed plumbing.
+_ALLOWED_NP_RANDOM = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+
+#: Callees whose arguments are seed expressions (RNG005 scope).
+_SEED_CALLEES = frozenset({"default_rng", "SeedSequence", "spawn_rng"})
+
+
+def _random_module_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module aliases, imported member aliases) of stdlib ``random``."""
+    modules: set[str] = set()
+    members: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                members.add(alias.asname or alias.name)
+    return modules, members
+
+
+def _is_np_random(name: str) -> str | None:
+    """The trailing attribute of an ``np.random.X``/``numpy.random.X`` name."""
+    parts = name.split(".")
+    if len(parts) >= 3 and parts[-2] == "random" and parts[-3] in ("np", "numpy"):
+        return parts[-1]
+    return None
+
+
+class NumpyGlobalRandomRule(Rule):
+    """RNG001: ban legacy module-global ``np.random`` state."""
+
+    rule_id = "RNG001"
+    description = "module-global np.random state breaks seed discipline"
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            attr = _is_np_random(name)
+            if attr in _GLOBAL_STATE_FNS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"np.random.{attr} uses process-global RNG state; thread an "
+                    f"explicit numpy.random.Generator instead",
+                )
+
+
+class StdlibRandomRule(Rule):
+    """RNG002: ban stdlib ``random`` (global, float-only, non-threadable)."""
+
+    rule_id = "RNG002"
+    description = "stdlib random module is process-global state"
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        modules, members = _random_module_aliases(context.tree)
+        if not modules and not members:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (len(parts) == 2 and parts[0] in modules) or (
+                len(parts) == 1 and parts[0] in members
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"stdlib random call {name}() draws from process-global state; "
+                    f"use a threaded numpy.random.Generator",
+                )
+
+
+class UnseededDefaultRngRule(Rule):
+    """RNG003: ``default_rng()`` without a seed is unreproducible."""
+
+    rule_id = "RNG003"
+    description = "unseeded default_rng() gives a fresh stream every run"
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or name.rsplit(".", 1)[-1] != "default_rng":
+                continue
+            unseeded = not node.args and not node.keywords
+            none_seed = (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if unseeded or none_seed:
+                yield self.finding(
+                    context,
+                    node,
+                    "default_rng() without a seed is entropy-seeded and "
+                    "unreproducible; pass a seed or accept a Generator parameter",
+                )
+
+
+class UntypedRngParamRule(Rule):
+    """RNG004: generator-carrying parameters must be typed as such."""
+
+    rule_id = "RNG004"
+    description = "rng parameters must carry a numpy.random.Generator annotation"
+
+    _PARAM_NAMES = ("rng", "generator", "base_rng")
+
+    def _param_matches(self, name: str) -> bool:
+        return name in self._PARAM_NAMES or name.endswith("_rng")
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            for param in params:
+                if not self._param_matches(param.arg):
+                    continue
+                text = annotation_text(param.annotation)
+                if "Generator" not in text:
+                    yield self.finding(
+                        context,
+                        param,
+                        f"parameter {param.arg!r} of {node.name}() must be "
+                        f"annotated as numpy.random.Generator (got "
+                        f"{text or 'no annotation'})",
+                    )
+
+
+class HashInSeedRule(Rule):
+    """RNG005: ``hash()`` in a seed expression differs across processes."""
+
+    rule_id = "RNG005"
+    description = "builtin hash() is salted per process; never derive seeds from it"
+
+    def _hash_calls(self, node: ast.AST) -> Iterator[ast.Call]:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "hash"
+            ):
+                yield child
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            leaf = name.rsplit(".", 1)[-1] if name else ""
+            seedish_args: list[ast.AST] = []
+            if leaf in _SEED_CALLEES:
+                seedish_args.extend(node.args)
+                seedish_args.extend(kw.value for kw in node.keywords)
+            else:
+                seedish_args.extend(
+                    kw.value
+                    for kw in node.keywords
+                    if kw.arg is not None and "seed" in kw.arg
+                )
+            for arg in seedish_args:
+                for hash_call in self._hash_calls(arg):
+                    yield self.finding(
+                        context,
+                        hash_call,
+                        "hash() is salted per process (PYTHONHASHSEED); derive "
+                        "seeds with a stable digest (e.g. repro._util.stable_seed)",
+                    )

@@ -180,7 +180,7 @@ class InFrameConfig:
     # ------------------------------------------------------------------
     # Variants
     # ------------------------------------------------------------------
-    def with_updates(self, **changes) -> "InFrameConfig":
+    def with_updates(self, **changes: object) -> "InFrameConfig":
         """A copy with the given fields replaced (validation re-runs)."""
         return replace(self, **changes)
 

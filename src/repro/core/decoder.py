@@ -31,6 +31,7 @@ from scipy import ndimage
 
 from repro._util import check_positive_int
 from repro.camera.capture import CapturedFrame
+from repro.camera.geometry import PerspectiveView
 from repro.core.config import InFrameConfig
 from repro.core.geometry import FrameGeometry
 from repro.core.parity import decode_gob_grid
@@ -118,7 +119,7 @@ class InFrameDecoder:
         aggregation: str = "max",
         clock_phase_s: float = 0.0,
         screen_rect: tuple[int, int, int, int] | None = None,
-        view=None,
+        view: PerspectiveView | None = None,
     ) -> None:
         if aggregation not in ("max", "mean"):
             raise ValueError(f"aggregation must be 'max' or 'mean', got {aggregation!r}")

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.config import InFrameConfig
 from repro.core.encoder import DataFrameEncoder
+from repro.display.gamma import GammaCurve
 from repro.core.geometry import FrameGeometry
 from repro.video.source import VideoSource
 
@@ -57,7 +58,7 @@ class MultiplexedStream:
         video: VideoSource,
         schedule: DataFrameSchedule,
         n_display_frames: int | None = None,
-        gamma_curve=None,
+        gamma_curve: GammaCurve | None = None,
     ) -> None:
         if abs(video.fps - config.video_fps) > 1e-9:
             raise ValueError(

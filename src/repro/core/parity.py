@@ -14,6 +14,8 @@ The code is selected by ``InFrameConfig.gob_code``.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 from repro.core.config import InFrameConfig
@@ -162,7 +164,7 @@ def _data_positions(flat: np.ndarray, config: InFrameConfig) -> np.ndarray:
     return flat[:-1]
 
 
-def _iter_gobs(grid: np.ndarray, config: InFrameConfig):
+def _iter_gobs(grid: np.ndarray, config: InFrameConfig) -> Iterator[np.ndarray]:
     """Yield each GOB cell of *grid*, row-major."""
     m = config.gob_size
     for gob_row in range(config.gob_rows):

@@ -25,9 +25,18 @@ from __future__ import annotations
 import multiprocessing
 import os
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Any
+
+#: ``func(item, context) -> result`` -- must be a module-level function.
+WorkFn = Callable[[Any, Any], Any]
+#: ``on_result(index, result)`` -- called the moment each item finishes.
+ResultFn = Callable[[int, Any], None]
+#: ``prepare(index, item) -> item`` -- called right before dispatch.
+PrepareFn = Callable[[int, Any], Any]
 
 
 def default_workers() -> int:
@@ -58,20 +67,20 @@ class EngineStats:
     retries: int = 0
     serial_items: int = 0  # items completed in-process (serial mode or fallback)
     crashes: int = 0  # pool breakages observed
-    errors: list = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
 
 
 # Per-worker context installed by the pool initializer (inherited state
 # under fork; pickled once per worker otherwise).
-_WORKER_CONTEXT = None
+_WORKER_CONTEXT: Any = None
 
 
-def _init_worker(context) -> None:
+def _init_worker(context: Any) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
 
 
-def _run_task(func, item):
+def _run_task(func: WorkFn, item: Any) -> Any:
     return func(item, _WORKER_CONTEXT)
 
 
@@ -123,7 +132,14 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     # Mapping
     # ------------------------------------------------------------------
-    def map(self, func, items, context=None, on_result=None, prepare=None) -> list:
+    def map(
+        self,
+        func: WorkFn,
+        items: Iterable[Any],
+        context: Any = None,
+        on_result: ResultFn | None = None,
+        prepare: PrepareFn | None = None,
+    ) -> list[Any]:
         """Apply ``func(item, context)`` to every item; ordered results.
 
         *func* must be a module-level function (it crosses the process
@@ -138,7 +154,7 @@ class ExecutionEngine:
         """
         items = list(items)
         self.stats = EngineStats(workers=self.workers, items=len(items))
-        results: list = [None] * len(items)
+        results: list[Any] = [None] * len(items)
         if not items:
             return results
         if not self.parallel or len(items) == 1:
@@ -181,7 +197,14 @@ class ExecutionEngine:
         return results
 
     def _run_serial(
-        self, func, items, context, indices, results, on_result, prepare=None
+        self,
+        func: WorkFn,
+        items: list[Any],
+        context: Any,
+        indices: Iterable[int],
+        results: list[Any],
+        on_result: ResultFn | None,
+        prepare: PrepareFn | None = None,
     ) -> None:
         for index in indices:
             if prepare is not None:
@@ -192,11 +215,18 @@ class ExecutionEngine:
                 on_result(index, results[index])
 
     def _pool_pass(
-        self, func, items, context, pending, results, on_result, prepare=None
+        self,
+        func: WorkFn,
+        items: list[Any],
+        context: Any,
+        pending: Sequence[int],
+        results: list[Any],
+        on_result: ResultFn | None,
+        prepare: PrepareFn | None = None,
     ) -> list[int]:
         """One pool lifetime; returns the indices it failed to finish."""
-        pending = deque(pending)
-        inflight: dict = {}
+        queue: deque[int] = deque(pending)
+        inflight: dict[Future[Any], int] = {}
         failed: list[int] = []
         mp_context = multiprocessing.get_context(self.start_method)
         executor = ProcessPoolExecutor(
@@ -207,15 +237,15 @@ class ExecutionEngine:
         )
         broken = False
         try:
-            while (pending or inflight) and not broken:
-                while pending and len(inflight) < self.max_inflight:
-                    index = pending.popleft()
+            while (queue or inflight) and not broken:
+                while queue and len(inflight) < self.max_inflight:
+                    index = queue.popleft()
                     if prepare is not None:
                         items[index] = prepare(index, items[index])
                     try:
                         future = executor.submit(_run_task, func, items[index])
                     except (BrokenProcessPool, RuntimeError):
-                        pending.appendleft(index)
+                        queue.appendleft(index)
                         broken = True
                         break
                     inflight[future] = index
@@ -236,4 +266,4 @@ class ExecutionEngine:
                             on_result(index, result)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
-        return failed + [inflight[f] for f in inflight] + list(pending)
+        return failed + [inflight[f] for f in inflight] + list(queue)

@@ -11,6 +11,7 @@ on unconditionally.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -28,7 +29,7 @@ class StageTiming:
         self.cpu_s += cpu_s
         self.calls += calls
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, float | int]:
         return {"wall_s": self.wall_s, "cpu_s": self.cpu_s, "calls": self.calls}
 
 
@@ -39,7 +40,7 @@ class StageTimers:
         self._stages: dict[str, StageTiming] = {}
 
     @contextmanager
-    def stage(self, name: str):
+    def stage(self, name: str) -> Iterator[None]:
         """Time a ``with`` block under *name* (wall + CPU)."""
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
@@ -56,7 +57,7 @@ class StageTimers:
             timing = self._stages[name] = StageTiming()
         return timing
 
-    def merge(self, other: "StageTimers | dict[str, dict]") -> None:
+    def merge(self, other: "StageTimers | dict[str, dict[str, float | int]]") -> None:
         """Fold another timer set (or its ``as_dict``) into this one."""
         items = (
             other._stages.items()
@@ -66,7 +67,7 @@ class StageTimers:
         for name, timing in items:
             self._timing(name).add(timing.wall_s, timing.cpu_s, timing.calls)
 
-    def as_dict(self) -> dict[str, dict]:
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
         return {name: timing.as_dict() for name, timing in self._stages.items()}
 
 
@@ -103,7 +104,7 @@ class RuntimeReport:
     bits: int
     elapsed_s: float
     retries: int = 0
-    stages: dict = field(default_factory=dict)
+    stages: dict[str, dict[str, float | int]] = field(default_factory=dict)
 
     @property
     def frames_per_s(self) -> float:
@@ -115,7 +116,7 @@ class RuntimeReport:
         """Payload bits decoded per wall-clock second of processing."""
         return self.bits / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """JSON-ready form (used by the CLIs and the bench output)."""
         return {
             "mode": self.mode,

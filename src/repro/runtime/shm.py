@@ -165,7 +165,7 @@ class SharedFramePool:
     def __enter__(self) -> "SharedFramePool":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent

@@ -1,0 +1,160 @@
+"""CLI: run the project's domain-aware static analysis.
+
+Example::
+
+    python -m repro.tools.check                     # lint src/repro against the baseline
+    python -m repro.tools.check --json | jq .new    # machine-readable report
+    python -m repro.tools.check --update-baseline   # accept the current findings
+    python -m repro.tools.check tests/fixtures/checks/rng_violations.py --no-baseline
+
+Exit status: 0 when no new findings (stale baseline entries still print
+as warnings), 1 when new findings or parse errors exist, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.checks import Baseline, Finding, all_rules, find_project_root, run_checks
+
+_BASELINE_NAME = "checks-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.check",
+        description="Domain-aware static analysis: RNG discipline, uint8 "
+        "dtype safety, resource lifecycle, public-API typing.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: the project's src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <project root>/{_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: every finding is new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on-stale",
+        action="store_true",
+        help="treat stale baseline entries as a failure (CI hygiene)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _default_paths(root: Path) -> list[Path]:
+    src = root / "src" / "repro"
+    return [src if src.is_dir() else root]
+
+
+def _finding_payload(finding: Finding, baselined: bool) -> dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "severity": finding.severity,
+        "message": finding.message,
+        "baselined": baselined,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = all_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.description}")
+        return 0
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            parser.error(f"no such path: {', '.join(str(p) for p in missing)}")
+        root = find_project_root(paths[0].resolve())
+    else:
+        root = find_project_root(Path.cwd())
+        paths = _default_paths(root)
+
+    report = run_checks(paths, rules, root=root)
+    findings = report.all_findings
+
+    baseline_path = args.baseline if args.baseline is not None else root / _BASELINE_NAME
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+
+    if args.update_baseline:
+        baseline.save(baseline_path, findings)
+        if not args.json:
+            print(
+                f"baseline updated: {len(findings)} finding(s) accepted "
+                f"-> {baseline_path}"
+            )
+        return 0
+
+    diff = baseline.diff(findings)
+    failed = bool(diff.new) or (args.fail_on_stale and bool(diff.stale))
+
+    if args.json:
+        accepted_ids = {id(f) for f in diff.accepted}
+        payload = {
+            "root": str(report.root),
+            "files_checked": report.files_checked,
+            "findings": [
+                _finding_payload(f, id(f) in accepted_ids) for f in findings
+            ],
+            "new": [_finding_payload(f, False) for f in diff.new],
+            "baselined": len(diff.accepted),
+            "stale": diff.stale,
+            "exit_code": 1 if failed else 0,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
+
+    for finding in diff.new:
+        print(finding.format())
+    for finding in diff.accepted:
+        print(f"{finding.format()} (baselined)")
+    for fingerprint in diff.stale:
+        print(f"stale baseline entry (remove it): {fingerprint}", file=sys.stderr)
+    summary = (
+        f"{report.files_checked} file(s) checked: {len(diff.new)} new, "
+        f"{len(diff.accepted)} baselined, {len(diff.stale)} stale"
+    )
+    print(summary)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

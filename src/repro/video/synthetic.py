@@ -15,6 +15,29 @@ import numpy as np
 from repro._util import check_in_range, check_positive_int
 from repro.video.source import ConstantVideoSource, FunctionVideoSource, VideoSource
 
+#: Seed-domain tag separating film-grain draws from base-noise draws.
+_GRAIN_DOMAIN = 0xF11A
+
+
+def frame_rng(seed: int, index: int, domain: int | None = None) -> np.random.Generator:
+    """The generator for one content frame of a clip.
+
+    Every random draw in this module flows through a generator built
+    here, seeded by ``(seed, index[, domain])`` -- frames are independent
+    streams, so rendering frame 40 never requires drawing frames 0..39
+    first (random access stays cheap and parallel rendering stays
+    bit-identical to serial).
+    """
+    key = (seed, index) if domain is None else (seed, index, domain)
+    return np.random.default_rng(key)
+
+
+def _gaussian_field(
+    rng: np.random.Generator, mean: float, std: float, shape: tuple[int, int]
+) -> np.ndarray:
+    """One Gaussian noise field drawn from an explicitly threaded generator."""
+    return rng.normal(mean, std, size=shape)
+
 
 def pure_color_video(
     height: int,
@@ -64,13 +87,15 @@ def noise_video(
     (texture without motion); otherwise each content frame is fresh noise.
     """
     base_rng = np.random.default_rng(seed)
-    static_field = base_rng.normal(mean, std, size=(height, width)) if static else None
+    static_field = (
+        _gaussian_field(base_rng, mean, std, (height, width)) if static else None
+    )
 
     def render(index: int) -> np.ndarray:
         if static_field is not None:
             field = static_field
         else:
-            field = np.random.default_rng((seed, index)).normal(mean, std, size=(height, width))
+            field = _gaussian_field(frame_rng(seed, index), mean, std, (height, width))
         return np.clip(field, 0.0, 255.0).astype(np.float32)
 
     return FunctionVideoSource(height, width, render, fps=fps, n_frames=n_frames)
@@ -188,8 +213,8 @@ def sunrise_video(
 
         # Film grain: fresh per content frame, like real camera footage.
         if grain_std > 0.0:
-            grain = np.random.default_rng((seed, index, 0xF11A)).normal(
-                0.0, grain_std, size=(height, width)
+            grain = _gaussian_field(
+                frame_rng(seed, index, _GRAIN_DOMAIN), 0.0, grain_std, (height, width)
             )
             frame = frame + grain
         return np.clip(frame, 0.0, 255.0).astype(np.float32)

@@ -1,0 +1,28 @@
+"""Fixture: fully annotated public surface (no API findings expected)."""
+
+from __future__ import annotations
+
+
+class Widget:
+    """A class with annotated public methods."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def scaled(self, factor: float) -> float:
+        """Scale the widget."""
+        return self.size * factor
+
+    def _private_helper(self, x):  # noqa: ANN001, ANN202
+        # Private members are outside the public typing contract.
+        return x
+
+
+def top_level(value: int, *extras: int, flag: bool = False) -> int:
+    """An annotated module-level function."""
+
+    def nested(helper_arg):  # noqa: ANN001, ANN202
+        # Nested helpers are local, not public surface.
+        return helper_arg
+
+    return nested(value) + sum(extras) + int(flag)

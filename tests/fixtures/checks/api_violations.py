@@ -1,0 +1,21 @@
+"""Fixture: incomplete public annotations (API001 expected)."""
+
+from __future__ import annotations
+
+
+def missing_return(value: int):  # noqa: ANN201
+    """API001: no return annotation."""
+    return value * 2
+
+
+def missing_param(value) -> int:  # noqa: ANN001
+    """API001: unannotated parameter."""
+    return int(value)
+
+
+class Gadget:
+    """Methods are public surface too."""
+
+    def __init__(self, size):  # noqa: ANN001
+        """API001: unannotated __init__ parameter."""
+        self.size = size

@@ -1,0 +1,21 @@
+"""Fixture: wrap-safe uint8 frame math (no DT findings expected)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def modulate(frame: np.ndarray, delta: int) -> np.ndarray:
+    """The sanctioned idiom: widen, add, clip, cast back."""
+    wide = frame.astype(np.int16) + delta
+    return np.clip(wide, 0, 255).astype(np.uint8)
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Casting a 0/1 array for packbits involves no arithmetic."""
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def table_lookup(table: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Arithmetic inside a subscript index is not uint8 math."""
+    return table[a.astype(np.int32) + b.astype(np.int32)].astype(np.uint8)

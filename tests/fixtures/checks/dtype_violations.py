@@ -1,0 +1,16 @@
+"""Fixture: uint8 wraparound hazards (DT001 and DT002 expected)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def wrapping_add(frame: np.ndarray, delta: int) -> np.ndarray:
+    """DT001: +delta on a uint8 array wraps past 255."""
+    pixels = np.asarray(frame, dtype=np.uint8)
+    return pixels + delta
+
+
+def unclipped_cast(frame: np.ndarray, delta: float) -> np.ndarray:
+    """DT002: arithmetic cast straight to uint8 without a clip."""
+    return (frame + delta).astype(np.uint8)

@@ -1,0 +1,44 @@
+"""Fixture: paired resource lifecycles (no RES findings expected)."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def probe_segment() -> bool:
+    """Creation paired with close/unlink in the same function."""
+    try:
+        segment = SharedMemory(create=True, size=16)
+    except OSError:
+        return False
+    segment.close()
+    segment.unlink()
+    return True
+
+
+def run_with_finally(size: int) -> None:
+    """Creation released in a finally block."""
+    segment = SharedMemory(create=True, size=size)
+    try:
+        segment.buf[0] = 1
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def pooled_work() -> list[int]:
+    """A with statement owns the executor."""
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        return list(executor.map(abs, [-1, -2]))
+
+
+class SegmentOwner:
+    """A class owning the segment through its close() method."""
+
+    def __init__(self, size: int) -> None:
+        self._segment = SharedMemory(create=True, size=size)
+
+    def close(self) -> None:
+        self._segment.close()
+        self._segment.unlink()

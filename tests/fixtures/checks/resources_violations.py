@@ -1,0 +1,19 @@
+"""Fixture: leaked resources (RES001 and RES002 expected)."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_segment(size: int) -> SharedMemory:
+    """RES001: the segment outlives the process if the caller forgets it."""
+    segment = SharedMemory(create=True, size=size)
+    segment.buf[0] = 1
+    return segment
+
+
+def leak_pool(items: list[int]) -> list[int]:
+    """RES002: no shutdown on any path."""
+    executor = ProcessPoolExecutor(max_workers=2)
+    return list(executor.map(abs, items))

@@ -1,0 +1,32 @@
+"""Fixture: every RNG rule violated once (RNG001..RNG005 expected)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def global_numpy_draw(shape: tuple[int, int]) -> np.ndarray:
+    """RNG001: module-global numpy state."""
+    return np.random.normal(0.0, 1.0, size=shape)
+
+
+def stdlib_draw() -> float:
+    """RNG002: stdlib random is process-global state."""
+    return random.random()
+
+
+def unseeded_stream() -> np.random.Generator:
+    """RNG003: entropy-seeded generator, unreproducible by construction."""
+    return np.random.default_rng()
+
+
+def untyped_param(rng) -> float:  # noqa: ANN001
+    """RNG004: generator parameter without a Generator annotation."""
+    return float(rng.random())
+
+
+def hash_seeded(key: str) -> np.random.Generator:
+    """RNG005: hash() is salted per process."""
+    return np.random.default_rng(hash(key) % (2**32))

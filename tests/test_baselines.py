@@ -110,6 +110,17 @@ class TestQRRegion:
 
 
 class TestLSBStego:
+    def test_embed_boundary_pixels_never_wrap(self):
+        # Regression for the DT002 finding: embed() used to cast
+        # round(frame) straight to uint8.  check_frame tolerates values a
+        # hair above 255.0, so the cast must clip first -- a wrapped cast
+        # would flip a white pixel to black.  Pins the corrected values.
+        stego = LSBSteganography()
+        frame = np.array([[255.0005, 0.0], [128.0, 64.0]], dtype=np.float64)
+        bits = np.ones(4, dtype=bool)
+        carrier = stego.embed(frame, bits)
+        assert carrier.tolist() == [[255.0, 1.0], [129.0, 65.0]]
+
     def test_file_to_file_roundtrip(self):
         stego = LSBSteganography()
         frame = pure_color_video(32, 32, 127.0, n_frames=1).frame(0)

@@ -1,0 +1,219 @@
+"""Tests for the domain-aware static-analysis pass (repro.checks).
+
+The checker itself is exercised through the public CLI
+(``python -m repro.tools.check``), the same entry point CI gates on, so
+these tests pin the contract users actually depend on: exit codes, rule
+ids, JSON shape, the baseline workflow and inline suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks import Baseline, all_rules, find_project_root, run_checks
+from repro.tools.check import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "checks"
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, dict]:
+    """Run the CLI in-process with --json and parse its report."""
+    code = main([*argv, "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    return code, payload
+
+
+def rule_ids(payload: dict) -> set[str]:
+    return {finding["rule"] for finding in payload["findings"]}
+
+
+class TestRuleCatalogue:
+    def test_all_rules_have_unique_stable_ids(self):
+        rules = all_rules()
+        ids = [rule.rule_id for rule in rules]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+        for rule in rules:
+            assert rule.description
+
+    def test_list_rules_cli(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.rule_id in out
+
+
+class TestCleanFixtures:
+    @pytest.mark.parametrize(
+        "name",
+        ["rng_clean.py", "dtype_clean.py", "resources_clean.py", "api_clean.py"],
+    )
+    def test_clean_fixture_has_no_findings(self, capsys, name):
+        code, payload = run_cli(capsys, str(FIXTURES / name), "--no-baseline")
+        assert code == 0
+        assert payload["findings"] == []
+        assert payload["files_checked"] == 1
+
+
+class TestViolatingFixtures:
+    # API001 rides along in rng_violations: the RNG004 fixture function
+    # necessarily has an unannotated public parameter.
+    CASES = {
+        "rng_violations.py": {
+            "RNG001",
+            "RNG002",
+            "RNG003",
+            "RNG004",
+            "RNG005",
+            "API001",
+        },
+        "dtype_violations.py": {"DT001", "DT002"},
+        "resources_violations.py": {"RES001", "RES002"},
+        "api_violations.py": {"API001"},
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_violating_fixture_fails_with_expected_rules(self, capsys, name):
+        code, payload = run_cli(capsys, str(FIXTURES / name), "--no-baseline")
+        assert code == 1
+        assert rule_ids(payload) == self.CASES[name]
+        assert payload["exit_code"] == 1
+        # Every finding carries a usable location.
+        for finding in payload["findings"]:
+            assert finding["path"].endswith(name)
+            assert finding["line"] >= 1
+            assert finding["message"]
+
+    def test_whole_fixture_dir_reports_every_rule(self, capsys):
+        code, payload = run_cli(capsys, str(FIXTURES), "--no-baseline")
+        assert code == 1
+        expected = set().union(*self.CASES.values())
+        assert rule_ids(payload) == expected
+
+
+class TestInlineSuppression:
+    def test_pragma_silences_named_rule_only(self, tmp_path, capsys):
+        target = tmp_path / "suppressed.py"
+        target.write_text(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def f() -> np.random.Generator:\n"
+            "    return np.random.default_rng()  # checks: ignore[RNG003] fixture\n"
+        )
+        code, payload = run_cli(capsys, str(target), "--no-baseline")
+        assert code == 0
+        assert payload["findings"] == []
+
+    def test_pragma_for_other_rule_does_not_silence(self, tmp_path, capsys):
+        target = tmp_path / "suppressed.py"
+        target.write_text(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def f() -> np.random.Generator:\n"
+            "    return np.random.default_rng()  # checks: ignore[DT001]\n"
+        )
+        code, payload = run_cli(capsys, str(target), "--no-baseline")
+        assert code == 1
+        assert rule_ids(payload) == {"RNG003"}
+
+
+class TestBaselineWorkflow:
+    def _violating_file(self, tmp_path: Path) -> Path:
+        target = tmp_path / "legacy.py"
+        target.write_text((FIXTURES / "dtype_violations.py").read_text())
+        return target
+
+    def test_update_baseline_then_rerun_passes(self, tmp_path, capsys):
+        target = self._violating_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(target), "--baseline", str(baseline), "--update-baseline"]) == 0
+        capsys.readouterr()
+        code, payload = run_cli(capsys, str(target), "--baseline", str(baseline))
+        assert code == 0
+        assert payload["new"] == []
+        assert payload["baselined"] == 2
+        assert all(f["baselined"] for f in payload["findings"])
+
+    def test_new_violation_fails_despite_baseline(self, tmp_path, capsys):
+        target = self._violating_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(target), "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        target.write_text(
+            target.read_text()
+            + "\n\ndef fresh(frame: np.ndarray) -> np.ndarray:\n"
+            + "    return (frame * 2).astype(np.uint8)\n"
+        )
+        code, payload = run_cli(capsys, str(target), "--baseline", str(baseline))
+        assert code == 1
+        assert len(payload["new"]) == 1
+        assert payload["new"][0]["rule"] == "DT002"
+
+    def test_stale_entries_warn_and_fail_on_request(self, tmp_path, capsys):
+        target = self._violating_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(target), "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        target.write_text("\n")  # every legacy finding fixed
+        code, payload = run_cli(capsys, str(target), "--baseline", str(baseline))
+        assert code == 0
+        assert len(payload["stale"]) == 2
+        assert (
+            main([str(target), "--baseline", str(baseline), "--fail-on-stale"]) == 1
+        )
+
+    def test_baseline_rejects_unknown_version(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(bad)
+
+
+class TestProjectTree:
+    """The PR tree itself must be clean and its shipped baseline consistent."""
+
+    def test_project_scan_is_clean(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, payload = run_cli(capsys)
+        assert code == 0
+        assert payload["new"] == []
+        assert payload["files_checked"] > 70
+
+    def test_shipped_baseline_has_no_stale_entries(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, payload = run_cli(capsys, "--fail-on-stale")
+        assert code == 0
+        assert payload["stale"] == []
+
+    def test_shipped_baseline_loads(self):
+        baseline = Baseline.load(REPO_ROOT / "checks-baseline.json")
+        # The tree is fully clean today; the baseline may only shrink.
+        assert baseline.fingerprints == set()
+
+    def test_find_project_root(self):
+        assert find_project_root(FIXTURES) == REPO_ROOT
+        assert find_project_root(REPO_ROOT / "src" / "repro" / "core") == REPO_ROOT
+
+    def test_run_checks_engine_api(self):
+        report = run_checks([FIXTURES / "rng_violations.py"], all_rules(), root=REPO_ROOT)
+        assert report.files_checked == 1
+        assert {f.rule for f in report.findings} >= {"RNG001", "RNG002", "RNG003"}
+        for finding in report.findings:
+            assert finding.path.startswith("tests/fixtures/checks/")
+            # Fingerprints are line-free so baselines survive reflows.
+            assert finding.fingerprint == f"{finding.rule}::{finding.path}::{finding.message}"
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_failing_finding(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        code, payload = run_cli(capsys, str(bad), "--no-baseline")
+        assert code == 1
+        assert rule_ids(payload) == {"PARSE"}

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import InFrameConfig
@@ -104,6 +104,12 @@ class TestCodecInvariants:
         stream = MultiplexedStream(
             config, video, PseudoRandomSchedule(config, seed=seed)
         )
+        truth = stream.ground_truth(0)
+        # The paper's texture correction subtracts the frame-mean noise, so
+        # a *constant* bit grid (possible only on these toy 2x2 grids, never
+        # on the paper's 30x50) is inherently ambiguous to the relative
+        # threshold.  Both bit values present is a design precondition.
+        assume(bool(truth.min() != truth.max()))
         decoder = InFrameDecoder(config, stream.geometry, height, width, inset=0.25)
         t = 0.5 / config.refresh_hz  # mid first displayed frame (stable phase)
         capture = CapturedFrame(

@@ -11,6 +11,7 @@ from repro._util import (
     check_in_range,
     check_positive,
     check_positive_int,
+    stable_seed,
 )
 
 
@@ -96,3 +97,39 @@ class TestCheckFrame:
     def test_float_rounding_tolerance(self):
         # Values a hair outside [0, 255] from float arithmetic are fine.
         assert check_frame(np.full((2, 2), 255.0005)).max() > 255.0 - 1
+
+
+class TestStableSeed:
+    def test_process_stable_values(self):
+        # Pinned: stable_seed must never depend on PYTHONHASHSEED, so the
+        # exact values are part of the contract (changing them silently
+        # re-seeds every experiment stream derived from string keys).
+        assert stable_seed(1) == 1803989619
+        assert stable_seed("a") == 3611923103
+        assert stable_seed("fig6-left", 20.0, 60) == 4209608712
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {stable_seed(k) for k in ("a", "b", ("a",), 1, 1.0, None)}
+        assert len(seeds) == 6
+
+    def test_order_matters(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_range_is_32_bit(self):
+        for key in range(50):
+            assert 0 <= stable_seed(key) < 2**32
+
+    def test_requires_a_part(self):
+        with pytest.raises(ValueError):
+            stable_seed()
+
+
+class TestRngFor:
+    def test_same_key_same_stream(self):
+        from repro.analysis.experiments import rng_for
+
+        a = rng_for("experiment", 3).random(8)
+        b = rng_for("experiment", 3).random(8)
+        assert np.array_equal(a, b)
+        c = rng_for("experiment", 4).random(8)
+        assert not np.array_equal(a, c)
