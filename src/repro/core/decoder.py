@@ -24,7 +24,7 @@ blindly from capture noise energies for the synchronisation ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 from scipy import ndimage
@@ -40,13 +40,21 @@ from repro.core.smoothing import SmoothingWaveform
 
 @dataclass(frozen=True)
 class BlockObservation:
-    """Noise evidence extracted from one captured frame."""
+    """Noise evidence extracted from one captured frame.
+
+    ``mid_exposure_s`` and ``level`` ride along so the self-healing
+    decoder can re-assign an observation to a different data frame
+    (pair-phase re-lock) and re-normalise its noise map (exposure-step
+    correction) without touching the capture's pixels again.
+    """
 
     data_frame_index: int
     weight: float
     contamination: float
     noise_map: np.ndarray
     capture_index: int
+    mid_exposure_s: float = 0.0
+    level: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -75,6 +83,108 @@ class DecodedDataFrame:
             return 0.0
         failures = int(np.sum(self.gob_available & ~self.gob_parity_ok))
         return failures / available
+
+
+@dataclass(frozen=True)
+class ResyncEvent:
+    """One mid-stream pair-phase re-lock performed by the healed decoder."""
+
+    capture_index: int
+    time_s: float
+    phase_before_s: float
+    phase_after_s: float
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready form."""
+        return {
+            "capture_index": self.capture_index,
+            "time_s": self.time_s,
+            "phase_before_s": self.phase_before_s,
+            "phase_after_s": self.phase_after_s,
+        }
+
+
+@dataclass(frozen=True)
+class GainSegment:
+    """A run of captures sharing one exposure/ambient regime.
+
+    ``gain`` is the segment's mean pixel level relative to the dominant
+    segment; segments darker than the blackout cutoff are excluded from
+    decoding evidence entirely (an occluded camera sees no chessboard).
+    """
+
+    start_capture: int
+    n_captures: int
+    level: float
+    gain: float
+    blackout: bool
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form."""
+        return {
+            "start_capture": self.start_capture,
+            "n_captures": self.n_captures,
+            "level": self.level,
+            "gain": self.gain,
+            "blackout": self.blackout,
+        }
+
+
+@dataclass(frozen=True)
+class HealingReport:
+    """What the self-healing decode pass observed and repaired."""
+
+    enabled: bool = True
+    windows: int = 0
+    relock_attempts: int = 0
+    resyncs: tuple[ResyncEvent, ...] = ()
+    segments: tuple[GainSegment, ...] = ()
+    excluded_captures: int = 0
+
+    @property
+    def n_resyncs(self) -> int:
+        """Number of adopted phase re-locks."""
+        return len(self.resyncs)
+
+    def time_to_resync_s(self, onset_s: float) -> float | None:
+        """Seconds from a fault onset to the first re-lock at/after it."""
+        for event in self.resyncs:
+            if event.time_s >= onset_s:
+                return event.time_s - onset_s
+        return None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form."""
+        return {
+            "enabled": self.enabled,
+            "windows": self.windows,
+            "relock_attempts": self.relock_attempts,
+            "resyncs": [event.as_dict() for event in self.resyncs],
+            "segments": [segment.as_dict() for segment in self.segments],
+            "excluded_captures": self.excluded_captures,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"healing: windows={self.windows} "
+            f"relocks={len(self.resyncs)}/{self.relock_attempts} "
+            f"segments={len(self.segments)} excluded={self.excluded_captures}"
+        )
+
+    @staticmethod
+    def merge(reports: "list[HealingReport]") -> "HealingReport | None":
+        """Fold several rounds' reports into one (None when empty)."""
+        if not reports:
+            return None
+        return HealingReport(
+            enabled=any(r.enabled for r in reports),
+            windows=sum(r.windows for r in reports),
+            relock_attempts=sum(r.relock_attempts for r in reports),
+            resyncs=tuple(e for r in reports for e in r.resyncs),
+            segments=tuple(s for r in reports for s in r.segments),
+            excluded_captures=sum(r.excluded_captures for r in reports),
+        )
 
 
 class InFrameDecoder:
@@ -186,6 +296,25 @@ class InFrameDecoder:
         )
         return (noise - noise.mean()).astype(np.float64)
 
+    def assign(
+        self, mid_exposure_s: float, extra_phase_s: float = 0.0
+    ) -> tuple[int, float, float]:
+        """Map a mid-exposure time to ``(data_index, weight, contamination)``.
+
+        ``extra_phase_s`` is an additional clock correction on top of
+        ``clock_phase_s``; the self-healing pass uses it to re-assign
+        stored observations under candidate phases without reprocessing
+        any pixels.
+        """
+        local_time = mid_exposure_s - self.clock_phase_s - extra_phase_s
+        display_index = int(np.floor(local_time * self.config.refresh_hz))
+        display_index = max(display_index, 0)
+        data_index, step = divmod(display_index, self.config.tau)
+        current_factor, next_factor = self.waveform.factors(step)
+        if next_factor > current_factor:
+            return data_index + 1, float(next_factor**2), float(current_factor)
+        return data_index, float(current_factor**2), float(next_factor)
+
     def observe(self, capture: CapturedFrame) -> BlockObservation:
         """Extract evidence from one capture: noise map + cycle weighting.
 
@@ -195,22 +324,15 @@ class InFrameDecoder:
         such captures are assigned to the next data frame instead -- this
         buys the aggregator roughly one extra usable capture per cycle.
         """
-        local_time = capture.mid_exposure_s - self.clock_phase_s
-        display_index = int(np.floor(local_time * self.config.refresh_hz))
-        display_index = max(display_index, 0)
-        data_index, step = divmod(display_index, self.config.tau)
-        current_factor, next_factor = self.waveform.factors(step)
-        if next_factor > current_factor:
-            data_index += 1
-            weight, contamination = float(next_factor**2), float(current_factor)
-        else:
-            weight, contamination = float(current_factor**2), float(next_factor)
+        data_index, weight, contamination = self.assign(capture.mid_exposure_s)
         return BlockObservation(
             data_frame_index=data_index,
             weight=weight,
             contamination=contamination,
             noise_map=self.block_noise_map(capture.pixels),
             capture_index=capture.index,
+            mid_exposure_s=float(capture.mid_exposure_s),
+            level=float(np.asarray(capture.pixels, dtype=np.float64).mean()),
         )
 
     def synchronized(self, captures: list[CapturedFrame]) -> "InFrameDecoder":
@@ -266,6 +388,257 @@ class InFrameDecoder:
             if frame is not None:
                 decoded.append(frame)
         return decoded
+
+    # ------------------------------------------------------------------
+    # Self-healing decode (pair-phase tracking + gain segmentation)
+    # ------------------------------------------------------------------
+    def decode_healed(
+        self, captures: list[CapturedFrame]
+    ) -> tuple[list[DecodedDataFrame], HealingReport]:
+        """Observe-then-heal composition of :meth:`decide_observations_healed`."""
+        return self.decide_observations_healed([self.observe(c) for c in captures])
+
+    def decide_observations_healed(
+        self,
+        observations: list[BlockObservation],
+        *,
+        window_data_frames: int = 3,
+        relock_trigger: float = 0.85,
+        score_floor: float = 0.2,
+        gain_step: float = 0.12,
+        blackout_gain: float = 0.35,
+        max_resyncs: int = 8,
+    ) -> tuple[list[DecodedDataFrame], HealingReport]:
+        """Decode with continuous pair-phase tracking and gain re-estimation.
+
+        The plain :meth:`decide_observations` trusts capture timestamps and
+        a fixed exposure: one camera-clock slip mid-stream misassigns every
+        later capture and corrupts the rest of the transmission.  This pass
+        is the self-healing variant:
+
+        1. **Gain segmentation.**  Captures are split into segments at
+           >``gain_step`` jumps of mean pixel level (exposure or ambient
+           steps).  Each segment's noise maps are re-normalised to the
+           dominant segment's level so per-frame thresholds stay bimodal
+           across a step; segments darker than ``blackout_gain`` of the
+           reference (occlusions) are dropped from evidence entirely.
+        2. **Windowed phase tracking.**  The stream is walked in windows of
+           ``window_data_frames`` cycles.  Each window is scored by decode
+           quality (mean fraction of GOBs available *and* parity-clean).  A
+           score collapse below ``relock_trigger`` of the running baseline
+           (or below ``score_floor`` outright) marks desynchronisation; the
+           pass then re-locks by scoring candidate phases -- every
+           whole-display-frame slip within half a cycle, plus the blind
+           energy estimate over the window (the sliding-window form of
+           :func:`estimate_cycle_phase`) -- and adopts the best candidate
+           if it clearly improves the window.
+        3. **Re-assignment.**  Observations are re-assigned to data frames
+           under their window's phase (noise maps are phase-independent, so
+           healing never reprocesses pixels) and aggregated as usual.
+
+        Returns the decoded frames plus a :class:`HealingReport` recording
+        every segment, re-lock attempt and adopted resync.
+        """
+        obs = sorted(observations, key=lambda o: (o.mid_exposure_s, o.capture_index))
+        if not obs:
+            return [], HealingReport()
+
+        # --- 1. gain segmentation -------------------------------------
+        levels = [o.level for o in obs]
+        spans: list[tuple[int, int]] = []
+        start = 0
+        for i in range(1, len(obs)):
+            ref = float(np.median(levels[start:i]))
+            if ref > 1e-6 and abs(levels[i] / ref - 1.0) > gain_step:
+                spans.append((start, i))
+                start = i
+        spans.append((start, len(obs)))
+        largest = max(spans, key=lambda span: span[1] - span[0])
+        ref_level = float(np.median(levels[largest[0] : largest[1]]))
+
+        segments: list[GainSegment] = []
+        active: list[BlockObservation] = []
+        excluded = 0
+        for s0, s1 in spans:
+            med = float(np.median(levels[s0:s1]))
+            gain = med / ref_level if ref_level > 1e-6 else 1.0
+            blackout = gain < blackout_gain
+            segments.append(
+                GainSegment(
+                    start_capture=obs[s0].capture_index,
+                    n_captures=s1 - s0,
+                    level=med,
+                    gain=gain,
+                    blackout=blackout,
+                )
+            )
+            if blackout:
+                excluded += s1 - s0
+            elif abs(gain - 1.0) > 0.02:
+                scale = 1.0 / gain
+                active.extend(
+                    replace(o, noise_map=o.noise_map * scale) for o in obs[s0:s1]
+                )
+            else:
+                active.extend(obs[s0:s1])
+        if not active:
+            return [], HealingReport(
+                segments=tuple(segments), excluded_captures=excluded
+            )
+
+        # --- 2. windowed phase tracking -------------------------------
+        cycle_s = self.config.tau / self.config.refresh_hz
+        slip_s = 1.0 / self.config.refresh_hz
+        max_k = max(self.config.tau // 2, 1)
+        # Candidate phases are absolute whole-display-frame offsets within
+        # half a cycle (plus zero, so a spurious lock can release), never
+        # offsets from the current phase: re-locks cannot walk the phase
+        # beyond the model's slip bound by accumulating adoptions.
+        slips = [k * slip_s for k in range(-max_k, max_k + 1)]
+        window_s = window_data_frames * cycle_s
+
+        phases = [0.0] * len(active)
+        resyncs: list[ResyncEvent] = []
+        windows = 0
+        attempts = 0
+        baseline: float | None = None
+        phase = 0.0
+        refine = False
+        pos = 0
+        while pos < len(active):
+            t0 = active[pos].mid_exposure_s
+            end = pos
+            while end < len(active) and active[end].mid_exposure_s < t0 + window_s:
+                end += 1
+            if end - pos < 3:
+                end = min(len(active), pos + 3)
+            win = active[pos:end]
+            windows += 1
+            score = self._phase_score(win, phase)
+            triggered = (
+                len(win) >= 3
+                and len(resyncs) < max_resyncs
+                and (
+                    score < score_floor
+                    or (baseline is not None and score < relock_trigger * baseline)
+                )
+            )
+            # A re-lock adopted on an onset-straddling window is often a
+            # compromise between the clean head and the slipped tail, so
+            # the window right after an adoption gets one unconditional
+            # refinement attempt with a light margin.
+            refining = refine and not triggered and len(win) >= 3
+            refine = False
+            if triggered or refining:
+                attempts += 1
+                best_phase, best_score = phase, score
+                candidates = [s for s in slips if s != phase]
+                estimate = self._window_phase_estimate(win)
+                if estimate is not None:
+                    candidates.append(estimate)
+                for cand in candidates:
+                    cand_score = self._phase_score(win, cand)
+                    if cand_score > best_score + 1e-9:
+                        best_phase, best_score = cand, cand_score
+                margin = (
+                    max(score * 1.02, score + 0.02)
+                    if refining
+                    else max(score * 1.15, score + 0.08)
+                )
+                if best_phase != phase and best_score >= margin:
+                    resyncs.append(
+                        ResyncEvent(
+                            capture_index=win[0].capture_index,
+                            time_s=float(win[0].mid_exposure_s),
+                            phase_before_s=phase,
+                            phase_after_s=best_phase,
+                        )
+                    )
+                    phase = best_phase
+                    score = best_score
+                    refine = triggered and len(resyncs) < max_resyncs
+            baseline = score if baseline is None else 0.6 * baseline + 0.4 * score
+            for k in range(pos, end):
+                phases[k] = phase
+            pos = end
+
+        # --- 3. re-assignment and final decision ----------------------
+        healed = [self._reassign(active[i], phases[i]) for i in range(len(active))]
+        report = HealingReport(
+            windows=windows,
+            relock_attempts=attempts,
+            resyncs=tuple(resyncs),
+            segments=tuple(segments),
+            excluded_captures=excluded,
+        )
+        return self.decide_observations(healed), report
+
+    def _reassign(
+        self, obs: BlockObservation, extra_phase_s: float
+    ) -> BlockObservation:
+        """The observation re-timed under an extra clock correction."""
+        data_index, weight, contamination = self.assign(
+            obs.mid_exposure_s, extra_phase_s
+        )
+        if (
+            data_index == obs.data_frame_index
+            and weight == obs.weight
+            and contamination == obs.contamination
+        ):
+            return obs
+        return replace(
+            obs,
+            data_frame_index=data_index,
+            weight=weight,
+            contamination=contamination,
+        )
+
+    def _phase_score(
+        self, observations: list[BlockObservation], extra_phase_s: float
+    ) -> float:
+        """Decode quality of *observations* under a candidate phase.
+
+        Per-capture-weighted fraction of GOBs that are both available and
+        parity-clean -- the objective the re-lock search maximises.  Each
+        decodable frame's fraction counts once per capture assigned to it
+        and the denominator is the total capture count, so a candidate
+        cannot inflate its score by pushing captures out of weak edge
+        frames (captures stranded in undecodable frames score zero).
+        """
+        grouped: dict[int, list[BlockObservation]] = {}
+        for obs in observations:
+            moved = self._reassign(obs, extra_phase_s)
+            grouped.setdefault(moved.data_frame_index, []).append(moved)
+        total = 0.0
+        for data_index in sorted(grouped):
+            members = grouped[data_index]
+            frame = self._decide(data_index, members)
+            if frame is None:
+                continue
+            frac = float(np.mean(frame.gob_available & frame.gob_parity_ok))
+            total += frac * len(members)
+        return total / len(observations) if observations else 0.0
+
+    def _window_phase_estimate(
+        self, window: list[BlockObservation]
+    ) -> float | None:
+        """Blind energy-based phase candidate for one window, signed.
+
+        The sliding-window form of :func:`estimate_cycle_phase`: noise
+        energies come from the stored observation maps instead of fresh
+        pixel processing.  The ``[0, cycle)`` estimate is mapped to the
+        signed equivalent of smaller magnitude so re-locks preserve
+        absolute data-frame indices for slips under half a cycle.
+        """
+        if len(window) < 3:
+            return None
+        times = np.array([o.mid_exposure_s - self.clock_phase_s for o in window])
+        energies = np.array([float(np.abs(o.noise_map).mean()) for o in window])
+        phi = phase_from_energies(times, energies, self.config)
+        cycle_s = self.config.tau / self.config.refresh_hz
+        if phi > cycle_s / 2.0:
+            phi -= cycle_s
+        return phi
 
     def _decide(
         self, data_index: int, observations: list[BlockObservation]
@@ -412,13 +785,25 @@ def estimate_cycle_phase(
     """
     if len(captures) < 3:
         raise ValueError("phase estimation needs at least 3 captures")
-    config = decoder.config
-    cycle_s = config.tau / config.refresh_hz
     times = np.array([c.mid_exposure_s for c in captures])
     energies = np.array(
         [float(np.abs(decoder.block_noise_map(c.pixels)).mean()) for c in captures]
     )
-    energies = energies - energies.mean()
+    return phase_from_energies(times, energies, decoder.config)
+
+
+def phase_from_energies(
+    times: np.ndarray, energies: np.ndarray, config: InFrameConfig
+) -> float:
+    """Cycle phase maximising stable/transition-half energy contrast.
+
+    The scan core shared by :func:`estimate_cycle_phase` (fresh pixel
+    energies over a whole run) and the healed decoder's sliding-window
+    re-lock (stored observation energies).  Returns a phase in
+    ``[0, tau / refresh_hz)``.
+    """
+    cycle_s = config.tau / config.refresh_hz
+    centered = energies - energies.mean()
     phases = np.linspace(0.0, cycle_s, 48, endpoint=False)
     scores = np.empty_like(phases)
     for i, phi in enumerate(phases):
@@ -428,5 +813,5 @@ def estimate_cycle_phase(
         if stable.all() or not stable.any():
             scores[i] = 0.0
         else:
-            scores[i] = energies[stable].mean() - energies[~stable].mean()
+            scores[i] = centered[stable].mean() - centered[~stable].mean()
     return float(phases[int(np.argmax(scores))])

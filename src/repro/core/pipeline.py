@@ -15,7 +15,8 @@ benchmarks use.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,9 +34,14 @@ from repro.core.metrics import LinkStats, summarize_link
 from repro.core.multiplexer import DataFrameSchedule, MultiplexedStream
 from repro.display.panel import DisplayPanel
 from repro.display.scheduler import DisplayTimeline
-from repro.runtime.link_exec import execute_link_captures
+from repro.runtime.link_exec import CaptureSource, execute_link_captures
 from repro.runtime.profiler import RuntimeReport
 from repro.video.source import VideoSource
+
+if TYPE_CHECKING:  # imported lazily at run time to keep layering acyclic
+    from repro.core.decoder import HealingReport
+    from repro.faults.plan import FaultPlan
+    from repro.faults.report import DegradationReport, InjectionLog
 
 
 class InFrameSender:
@@ -152,6 +158,7 @@ class LinkRun:
     sender: InFrameSender
     receiver: InFrameReceiver
     runtime: RuntimeReport | None = None
+    degradation: DegradationReport | None = None
 
 
 def run_link(
@@ -164,6 +171,8 @@ def run_link(
     seed: int = 0,
     warmup_data_frames: int = 1,
     workers: int | None = None,
+    faults: FaultPlan | None = None,
+    heal: bool | None = None,
 ) -> LinkRun:
     """Run the full screen->camera loop and score it against ground truth.
 
@@ -189,6 +198,15 @@ def run_link(
         engine falls back to in-process execution when a pool cannot be
         built or keeps crashing.  Either way ``LinkRun.runtime`` carries
         the per-stage profile.
+    faults:
+        A :class:`~repro.faults.FaultPlan` to inject deterministically
+        into this run (compiled here against the run's capture count and
+        duration).  ``LinkRun.degradation`` then records what landed.
+    heal:
+        Whether to decode with the self-healing receiver
+        (:meth:`~repro.core.decoder.InFrameDecoder.decide_observations_healed`).
+        ``None`` (default) enables healing exactly when a fault plan is
+        given; pass False to measure the unhealed baseline under faults.
     """
     wall0 = time.perf_counter()
     sender = InFrameSender(config, video, schedule=schedule, panel=panel)
@@ -203,13 +221,41 @@ def run_link(
     if n_camera_frames is None:
         n_camera_frames = max_frames
     n_camera_frames = min(n_camera_frames, max_frames)
+    compiled = None
+    if faults is not None:
+        compiled = faults.compile(
+            n_captures=n_camera_frames,
+            fps=camera.fps,
+            duration_s=video.duration_s,
+            refresh_hz=config.refresh_hz,
+        )
+    exec_camera: CaptureSource = camera
+    if compiled is not None and compiled.perturbs_captures:
+        from repro.faults.inject import FaultInjectedCamera
+
+        exec_camera = FaultInjectedCamera(camera, compiled)
     execution = execute_link_captures(
-        timeline, camera, receiver.decoder, n_camera_frames, seed, workers=workers
+        timeline, exec_camera, receiver.decoder, n_camera_frames, seed, workers=workers
     )
     captures = execution.captures
+    observations = execution.observations
+    injected: InjectionLog | None = None
+    if compiled is not None:
+        from repro.faults.inject import apply_stream_faults
+
+        captures, observations, injected = apply_stream_faults(
+            compiled, captures, observations
+        )
+    heal_on = heal if heal is not None else compiled is not None
+    healing: HealingReport | None = None
     timers = execution.timers
     with timers.stage("decide"):
-        decoded_all = receiver.decoder.decide_observations(execution.observations)
+        if heal_on:
+            decoded_all, healing = receiver.decoder.decide_observations_healed(
+                observations
+            )
+        else:
+            decoded_all = receiver.decoder.decide_observations(observations)
     # Score only fully covered data frames: drop warmup and the tail frame
     # whose cycle the capture window may have clipped.
     last_complete = int(
@@ -234,7 +280,14 @@ def run_link(
         elapsed_s=time.perf_counter() - wall0,
         retries=execution.retries,
         stages=timers.as_dict(),
+        crashed_chunks=execution.crashed_chunks,
+        serial_fallback=execution.serial_fallback,
     )
+    degradation: DegradationReport | None = None
+    if compiled is not None or heal_on:
+        from repro.faults.report import DegradationReport as _DegradationReport
+
+        degradation = _DegradationReport(injected=injected, healing=healing)
     return LinkRun(
         stats=stats,
         decoded=decoded,
@@ -243,6 +296,7 @@ def run_link(
         sender=sender,
         receiver=receiver,
         runtime=report,
+        degradation=degradation,
     )
 
 
@@ -293,6 +347,7 @@ class TransportRun:
     link_stats: list[LinkStats]
     arq_stats: object | None = None  # ArqStats when mode == "arq"
     runtime: RuntimeReport | None = None  # merged over all forward passes
+    degradation: DegradationReport | None = None  # set when faults/heal active
 
 
 def run_transport_link(
@@ -315,6 +370,10 @@ def run_transport_link(
     feedback_loss: float = 0.0,
     join_offset: int = 0,
     workers: int | None = None,
+    faults: FaultPlan | None = None,
+    heal: bool | None = None,
+    retry_budget: int | None = None,
+    deadline_s: float | None = None,
 ) -> TransportRun:
     """Deliver *payload* over the screen->camera PHY with a transport scheme.
 
@@ -357,6 +416,19 @@ def run_transport_link(
         Worker processes for every forward pass's capture+observe stages
         (see :func:`run_link`); the per-pass profiles are merged into
         ``TransportRun.runtime``.
+    faults, heal:
+        Fault injection and self-healing per forward pass (see
+        :func:`run_link`).  Each round runs under
+        :meth:`~repro.faults.FaultPlan.for_round`, so random fault
+        processes re-draw per round while steps and blackout windows stay
+        put; ``corrupt``/``truncate`` faults additionally damage the
+        recovered packet buffers.  ``TransportRun.degradation`` then
+        merges the per-round accounting with the delivery outcome.
+    retry_budget, deadline_s:
+        ARQ degradation bounds (see :class:`repro.transport.ArqSession`):
+        a cap on retransmitted packets and a virtual-time deadline.  When
+        either fires the session ends early and the partial delivery is
+        reported instead of looped on.  Ignored by other modes.
     """
     from repro.transport.arq import ArqReceiver, ArqSender, ArqSession
     from repro.transport.carousel import BroadcastCarousel, CarouselReceiver
@@ -381,12 +453,24 @@ def run_transport_link(
     loss_rng = np.random.default_rng((seed, 0xEA5E))
     link_stats: list[LinkStats] = []
     runtime_reports: list[RuntimeReport] = []
-    counters = {"sent": 0, "recovered": 0, "rounds": 0}
+    link_degradations: list[DegradationReport | None] = []
+    packet_faults = faults.packet_faults() if faults is not None else None
+    counters = {
+        "sent": 0,
+        "recovered": 0,
+        "rounds": 0,
+        "corrupted": 0,
+        "truncated": 0,
+        "blackout_rounds": 0,
+    }
 
     def forward(packets: list[bytes]) -> list[bytes]:
         """One PHY pass: multiplex the batch, film it, decode packets."""
         counters["rounds"] += 1
         counters["sent"] += len(packets)
+        round_plan = (
+            faults.for_round(counters["rounds"]) if faults is not None else None
+        )
         schedule = PacketSchedule(config, codec, packets)
         run = run_link(
             config,
@@ -396,8 +480,11 @@ def run_transport_link(
             panel=panel,
             seed=seed + counters["rounds"],
             workers=workers,
+            faults=round_plan,
+            heal=heal,
         )
         link_stats.append(run.stats)
+        link_degradations.append(run.degradation)
         if run.runtime is not None:
             runtime_reports.append(run.runtime)
         accumulator = PacketSlotAccumulator(codec, schedule.n_packets)
@@ -406,17 +493,30 @@ def run_transport_link(
                 frame = loss.degrade(frame, loss_rng)
             accumulator.add_frame(frame)
         raws = accumulator.decode_packets()
+        if packet_faults is not None and packet_faults.active:
+            raws, n_corrupt, n_trunc = packet_faults.apply(raws, counters["rounds"])
+            counters["corrupted"] += n_corrupt
+            counters["truncated"] += n_trunc
+        if (faults is not None or heal) and not raws:
+            # A forward pass that recovered nothing: an occlusion span
+            # (or equivalent) blacked the round out; the carousel and
+            # ARQ loops simply resume on the next pass.
+            counters["blackout_rounds"] += 1
         counters["recovered"] += len(raws)
         return raws
 
     delivered_payload: bytes | None = None
     arq_stats = None
+    delivered_bytes = 0
+    deadline_hit = False
+    budget_exhausted = False
 
     if mode == "plain":
         sender = ArqSender(payload, chunk, session_id=session_id)
         receiver = ArqReceiver()
         for raw in forward(sender.all_packets()):
             receiver.receive(raw)
+        delivered_bytes = receiver.received_bytes
         if receiver.complete:
             delivered_payload = receiver.payload()
     elif mode == "arq":
@@ -428,9 +528,15 @@ def run_transport_link(
             feedback_loss=feedback_loss,
             packet_airtime_s=config.tau / config.refresh_hz,
             max_rounds=max_rounds,
+            retry_budget=retry_budget,
+            deadline_s=deadline_s,
+            backoff_jitter=0.1 if faults is not None else 0.0,
             rng=np.random.default_rng((seed, 0xFEED)),
         )
         arq_stats, delivered_payload = session.run()
+        delivered_bytes = arq_stats.delivered_bytes
+        deadline_hit = arq_stats.deadline_hit
+        budget_exhausted = arq_stats.budget_exhausted
     else:  # fountain / carousel
         carousel = BroadcastCarousel(payload, chunk, session_id=session_id)
         receiver = CarouselReceiver()
@@ -445,10 +551,16 @@ def run_transport_link(
             next_seq += batch
             if receiver.complete:
                 break
+        if receiver.decoder is not None:
+            delivered_bytes = min(
+                len(payload), receiver.decoder.n_decoded * chunk
+            )
         if receiver.complete:
             delivered_payload = receiver.payload()
 
     delivered = delivered_payload == payload
+    if delivered:
+        delivered_bytes = len(payload)
     airtime = counters["rounds"] * video.duration_s
     goodput = len(payload) * 8.0 / airtime if delivered and airtime > 0 else 0.0
     stats = TransportStats(
@@ -463,10 +575,35 @@ def run_transport_link(
         goodput_bps=goodput,
         airtime_s=airtime,
     )
+    degradation: DegradationReport | None = None
+    if faults is not None or heal:
+        from repro.faults.report import DegradationReport as _DegradationReport
+        from repro.faults.report import InjectionLog as _InjectionLog
+
+        degradation = _DegradationReport.merge_link_reports(
+            link_degradations,
+            total_bytes=len(payload),
+            delivered_bytes=delivered_bytes,
+            partial=(not delivered) and delivered_bytes > 0,
+            blackout_rounds=counters["blackout_rounds"],
+            deadline_hit=deadline_hit,
+            budget_exhausted=budget_exhausted,
+        )
+        if counters["corrupted"] or counters["truncated"]:
+            injected = degradation.injected or _InjectionLog()
+            degradation = dataclass_replace(
+                degradation,
+                injected=dataclass_replace(
+                    injected,
+                    corrupted_packets=counters["corrupted"],
+                    truncated_packets=counters["truncated"],
+                ),
+            )
     return TransportRun(
         payload=delivered_payload if delivered else None,
         stats=stats,
         link_stats=link_stats,
         arq_stats=arq_stats,
         runtime=RuntimeReport.merge(runtime_reports),
+        degradation=degradation,
     )

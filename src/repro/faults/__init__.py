@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the InFrame link.
+
+Real screen-camera deployments drop and duplicate captures, drift off
+the display clock, suffer exposure and ambient steps, get occluded, and
+tear packets -- the gap between lab prototypes and the field.  This
+package makes all of that *reproducible*: a :class:`FaultPlan` (parsed
+from the ``--faults`` CLI grammar) compiles into per-capture decisions
+before any worker runs, so the same seed injects bit-identical chaos at
+any worker count.  The self-healing receiver
+(:meth:`repro.core.decoder.InFrameDecoder.decide_observations_healed`)
+and the degradation-aware transport policies in
+:func:`repro.core.pipeline.run_transport_link` are scored against these
+plans by ``benchmarks/bench_faults.py``.
+
+See ``docs/robustness.md`` for the fault model and spec grammar.
+"""
+
+from repro.faults.inject import FaultInjectedCamera, apply_stream_faults
+from repro.faults.plan import (
+    FAULT_KINDS,
+    CompiledFaults,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    PacketFaults,
+)
+from repro.faults.report import DegradationReport, InjectionLog
+
+__all__ = [
+    "FAULT_KINDS",
+    "CompiledFaults",
+    "DegradationReport",
+    "FaultInjectedCamera",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "InjectionLog",
+    "PacketFaults",
+    "apply_stream_faults",
+]

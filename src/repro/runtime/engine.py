@@ -67,6 +67,7 @@ class EngineStats:
     retries: int = 0
     serial_items: int = 0  # items completed in-process (serial mode or fallback)
     crashes: int = 0  # pool breakages observed
+    crashed_items: list[int] = field(default_factory=list)  # items a pool pass lost
     errors: list[str] = field(default_factory=list)
 
 
@@ -182,6 +183,9 @@ class ExecutionEngine:
             if pending:
                 attempts += 1
                 self.stats.crashes += 1
+                for index in pending:
+                    if index not in self.stats.crashed_items:
+                        self.stats.crashed_items.append(index)
                 if attempts <= self.max_retries:
                     self.stats.retries += 1
         if pending:

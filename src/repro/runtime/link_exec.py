@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
-from repro.camera.capture import CameraModel, CapturedFrame
+from repro.camera.capture import CapturedFrame
 from repro.display.scheduler import DisplayTimeline
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.profiler import StageTimers
@@ -33,12 +33,34 @@ if TYPE_CHECKING:  # imported lazily to keep repro.runtime free of repro.core
     from repro.core.decoder import BlockObservation, InFrameDecoder
 
 
+class CaptureSource(Protocol):
+    """The camera-shaped surface the capture workers drive.
+
+    Satisfied by :class:`~repro.camera.capture.CameraModel` and by
+    wrappers that perturb it (``repro.faults.FaultInjectedCamera``); the
+    runtime layer only needs the sensor geometry and the render call.
+    """
+
+    @property
+    def height(self) -> int: ...
+
+    @property
+    def width(self) -> int: ...
+
+    def capture_frame(
+        self,
+        timeline: DisplayTimeline,
+        index: int,
+        rng: np.random.Generator | None = None,
+    ) -> CapturedFrame: ...
+
+
 @dataclass(frozen=True)
 class _LinkContext:
     """Everything a worker needs; inherited whole under a forked pool."""
 
     timeline: DisplayTimeline
-    camera: CameraModel
+    camera: CaptureSource
     decoder: InFrameDecoder
     pool: SharedFramePool | None
 
@@ -80,6 +102,8 @@ class LinkExecution:
     chunks: int
     retries: int
     timers: StageTimers
+    crashed_chunks: tuple[int, ...] = ()
+    serial_fallback: bool = False
 
 
 def _capture_chunk(task: _ChunkTask, ctx: _LinkContext) -> _ChunkResult:
@@ -113,7 +137,7 @@ def _capture_chunk(task: _ChunkTask, ctx: _LinkContext) -> _ChunkResult:
 
 def execute_link_captures(
     timeline: DisplayTimeline,
-    camera: CameraModel,
+    camera: CaptureSource,
     decoder: InFrameDecoder,
     n_frames: int,
     seed: int,
@@ -197,6 +221,8 @@ def execute_link_captures(
         chunks=len(chunks),
         retries=engine.stats.retries,
         timers=timers,
+        crashed_chunks=tuple(engine.stats.crashed_items),
+        serial_fallback=engine.stats.mode == "serial-fallback",
     )
 
 

@@ -95,6 +95,12 @@ class RuntimeReport:
         Per-stage breakdown, ``{name: {wall_s, cpu_s, calls}}``.  Worker
         stages sum *across* workers, so their wall total can exceed
         ``elapsed_s`` -- that surplus is the parallelism actually won.
+    crashed_chunks:
+        Chunk indices a pool pass lost to ``BrokenProcessPool`` (each was
+        subsequently retried on a rebuilt pool or completed in-process).
+    serial_fallback:
+        True when the engine exhausted its pool retries (or could not
+        build a pool) and finished the remaining chunks in-process.
     """
 
     mode: str
@@ -105,6 +111,8 @@ class RuntimeReport:
     elapsed_s: float
     retries: int = 0
     stages: dict[str, dict[str, float | int]] = field(default_factory=dict)
+    crashed_chunks: tuple[int, ...] = ()
+    serial_fallback: bool = False
 
     @property
     def frames_per_s(self) -> float:
@@ -129,6 +137,8 @@ class RuntimeReport:
             "frames_per_s": self.frames_per_s,
             "bits_per_s": self.bits_per_s,
             "stages": self.stages,
+            "crashed_chunks": list(self.crashed_chunks),
+            "serial_fallback": self.serial_fallback,
         }
 
     def summary(self) -> str:
@@ -139,6 +149,13 @@ class RuntimeReport:
             f"  {self.frames} frames in {self.elapsed_s:.2f} s "
             f"({self.frames_per_s:.1f} frames/s, {self.bits_per_s / 1000:.2f} kbit/s)",
         ]
+        if self.crashed_chunks or self.serial_fallback:
+            chunks = ",".join(str(i) for i in self.crashed_chunks) or "none"
+            fallback = "engaged" if self.serial_fallback else "not needed"
+            lines.append(
+                f"  crash recovery: chunks [{chunks}] retried "
+                f"{self.retries}x, serial fallback {fallback}"
+            )
         for name in sorted(self.stages):
             s = self.stages[name]
             lines.append(
@@ -166,4 +183,6 @@ class RuntimeReport:
             elapsed_s=sum(r.elapsed_s for r in reports),
             retries=sum(r.retries for r in reports),
             stages=timers.as_dict(),
+            crashed_chunks=tuple(i for r in reports for i in r.crashed_chunks),
+            serial_fallback=any(r.serial_fallback for r in reports),
         )

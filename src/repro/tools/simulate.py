@@ -6,6 +6,7 @@ Example::
     python -m repro.tools.simulate --video video --delta 30 --scale full
     python -m repro.tools.simulate --json | jq .bit_accuracy
     python -m repro.tools.simulate --workers 4 --profile
+    python -m repro.tools.simulate --faults 'drop:p=0.1;blackout:at=0.5,dur=0.5'
 """
 
 from __future__ import annotations
@@ -18,6 +19,49 @@ from dataclasses import replace
 
 from repro.analysis.experiments import ExperimentScale
 from repro.core.pipeline import run_link
+from repro.faults import FaultPlan
+
+
+def add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--faults`` / ``--no-heal`` / ``--fault-seed`` group."""
+    group = parser.add_argument_group("fault injection")
+    group.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic faults, e.g. 'drop:p=0.1;flip:at=0.5' "
+        "(kinds: drop dup reorder flip drift jitter exposure ambient "
+        "blackout corrupt truncate)",
+    )
+    group.add_argument(
+        "--no-heal",
+        action="store_true",
+        help="disable the self-healing decoder (healing is on whenever "
+        "--faults is given)",
+    )
+    group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for the fault plan's random draws (default: --seed)",
+    )
+
+
+def parse_fault_plan(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> tuple[FaultPlan | None, bool | None]:
+    """Resolve the fault group into ``run_link``'s (faults, heal) pair."""
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.parse(
+                args.faults,
+                seed=args.fault_seed if args.fault_seed is not None else args.seed,
+            )
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
+    heal: bool | None = False if args.no_heal else None
+    return plan, heal
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,12 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the runtime's per-stage wall/CPU breakdown",
     )
+    add_fault_arguments(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    faults, heal = parse_fault_plan(parser, args)
     scale = getattr(ExperimentScale, args.scale)()
     config = scale.config(amplitude=args.delta, tau=args.tau)
     camera = scale.camera()
@@ -92,6 +139,8 @@ def main(argv: list[str] | None = None) -> int:
         camera=camera,
         seed=args.seed,
         workers=args.workers,
+        faults=faults,
+        heal=heal,
     )
     elapsed_s = time.perf_counter() - wall0
     stats = run.stats
@@ -105,6 +154,8 @@ def main(argv: list[str] | None = None) -> int:
         record["seed"] = args.seed
         record["elapsed_s"] = elapsed_s
         record["frames_per_s"] = len(run.captures) / elapsed_s if elapsed_s > 0 else 0.0
+        if run.degradation is not None:
+            record["degradation"] = run.degradation.as_dict()
         if args.profile and run.runtime is not None:
             record["runtime"] = run.runtime.as_dict()
         print(json.dumps(record, indent=2))
@@ -119,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         f"  wall clock          : {elapsed_s:.2f} s "
         f"({len(run.captures) / elapsed_s:.1f} frames/s)"
     )
+    if run.degradation is not None:
+        print(run.degradation.summary())
     if args.profile and run.runtime is not None:
         print(run.runtime.summary())
     return 0

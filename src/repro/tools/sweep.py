@@ -15,7 +15,9 @@ from dataclasses import dataclass
 from repro.analysis.experiments import ExperimentScale
 from repro.analysis.reporting import format_table
 from repro.core.pipeline import run_link
+from repro.faults import FaultPlan
 from repro.runtime.engine import ExecutionEngine
+from repro.tools.simulate import add_fault_arguments, parse_fault_plan
 
 SWEEPABLE = {
     "tau": int,
@@ -33,6 +35,8 @@ class _SweepContext:
     parameter: str
     video_name: str
     seed: int
+    faults: FaultPlan | None = None
+    heal: bool | None = None
 
 
 def _sweep_cell(value, ctx: _SweepContext) -> list:
@@ -46,6 +50,8 @@ def _sweep_cell(value, ctx: _SweepContext) -> list:
         ctx.scale.video(ctx.video_name),
         camera=ctx.scale.camera(),
         seed=ctx.seed,
+        faults=ctx.faults,
+        heal=ctx.heal,
     ).stats
     return [
         value,
@@ -80,12 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run sweep cells on this many worker processes (default: serial)",
     )
+    add_fault_arguments(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    faults, heal = parse_fault_plan(parser, args)
     caster = SWEEPABLE[args.parameter]
     try:
         values = [caster(v) for v in args.values]
@@ -95,7 +104,12 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = getattr(ExperimentScale, args.scale)()
     context = _SweepContext(
-        scale=scale, parameter=args.parameter, video_name=args.video, seed=args.seed
+        scale=scale,
+        parameter=args.parameter,
+        video_name=args.video,
+        seed=args.seed,
+        faults=faults,
+        heal=heal,
     )
     if args.workers is not None and args.workers > 1:
         # Each cell is one independent run_link; the engine spreads cells

@@ -5,6 +5,7 @@ Example::
     python -m repro.tools.transfer --bytes 160 --mode fountain
     python -m repro.tools.transfer --file logo.bin --mode arq --loss 0.2
     python -m repro.tools.transfer --bytes 96 --mode all --json
+    python -m repro.tools.transfer --mode arq --faults 'drop:p=0.1;blackout:at=0.5,dur=0.5'
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import numpy as np
 
 from repro.analysis.experiments import ExperimentScale
 from repro.core.pipeline import run_transport_link
+from repro.tools.simulate import add_fault_arguments, parse_fault_plan
 
 _MODES = ("plain", "fountain", "arq", "carousel")
 
@@ -91,6 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the runtime's per-stage wall/CPU breakdown per mode",
     )
+    add_fault_arguments(parser)
+    group = parser.add_argument_group("degradation policy")
+    group.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        help="cap on retransmitted packets across all ARQ rounds",
+    )
+    group.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="give up on ARQ rounds past this modelled elapsed time",
+    )
     return parser
 
 
@@ -102,6 +118,11 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    faults, heal = parse_fault_plan(parser, args)
+    if args.retry_budget is not None and args.retry_budget < 0:
+        parser.error(f"--retry-budget must be >= 0, got {args.retry_budget}")
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        parser.error(f"--deadline-s must be positive, got {args.deadline_s:g}")
     if not 0.0 <= args.loss <= 1.0:
         parser.error(f"--loss must be in [0.0, 1.0], got {args.loss:g}")
     if not 0.0 <= args.feedback_loss <= 1.0:
@@ -150,6 +171,10 @@ def main(argv: list[str] | None = None) -> int:
             feedback_loss=args.feedback_loss,
             join_offset=args.join_offset,
             workers=args.workers,
+            faults=faults,
+            heal=heal,
+            retry_budget=args.retry_budget,
+            deadline_s=args.deadline_s,
         )
         elapsed_s = time.perf_counter() - wall0
         results.append(run.stats)
@@ -157,6 +182,8 @@ def main(argv: list[str] | None = None) -> int:
         record["elapsed_s"] = elapsed_s
         frames = run.runtime.frames if run.runtime is not None else 0
         record["frames_per_s"] = frames / elapsed_s if elapsed_s > 0 else 0.0
+        if run.degradation is not None:
+            record["degradation"] = run.degradation.as_dict()
         if args.profile and run.runtime is not None:
             record["runtime"] = run.runtime.as_dict()
         records.append(record)
@@ -164,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {run.stats.row()}  [{elapsed_s:.2f} s]")
             if run.arq_stats is not None:
                 print(f"           {run.arq_stats.row()}")
+            if run.degradation is not None:
+                print(run.degradation.summary())
             if args.profile and run.runtime is not None:
                 print(run.runtime.summary())
 

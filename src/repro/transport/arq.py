@@ -44,7 +44,15 @@ _RANGE = struct.Struct(">II")
 
 @dataclass(frozen=True)
 class ArqStats:
-    """Delivery accounting for one ARQ session."""
+    """Delivery accounting for one ARQ session.
+
+    ``delivered_bytes`` counts the distinct correct payload bytes the
+    receiver holds even when the session ends partial; ``deadline_hit``
+    and ``budget_exhausted`` say which degradation bound (if any) ended
+    the session early.  The ``n_*`` counters are the receiver's rejection
+    tallies (foreign-session, duplicate and out-of-range packets are
+    dropped without raising).
+    """
 
     delivered: bool
     rounds: int
@@ -54,14 +62,25 @@ class ArqStats:
     nacks_delivered: int
     timeouts: int
     elapsed_s: float
+    delivered_bytes: int = 0
+    deadline_hit: bool = False
+    budget_exhausted: bool = False
+    n_foreign: int = 0
+    n_duplicate: int = 0
+    n_out_of_range: int = 0
 
     def row(self) -> str:
         """One formatted summary line for tables."""
         status = "ok" if self.delivered else "FAIL"
+        marks = ""
+        if self.deadline_hit:
+            marks += " deadline"
+        if self.budget_exhausted:
+            marks += " budget"
         return (
             f"{status:4s} rounds={self.rounds:2d} sent={self.packets_sent:4d} "
             f"retx={self.retransmissions:4d} nacks={self.nacks_delivered}/"
-            f"{self.nacks_sent} timeouts={self.timeouts}"
+            f"{self.nacks_sent} timeouts={self.timeouts}{marks}"
         )
 
 
@@ -129,9 +148,19 @@ class ArqReceiver:
         self._fragments: dict[int, bytes] = {}
         self.n_received = 0
         self.n_rejected = 0
+        self.n_foreign = 0
+        self.n_duplicate = 0
+        self.n_out_of_range = 0
 
     def receive(self, raw: bytes) -> bool:
-        """Ingest one raw packet; returns True if it carried new bytes."""
+        """Ingest one raw packet; returns True if it carried new bytes.
+
+        Never raises on hostile input: malformed buffers, foreign
+        sessions, duplicates and packets whose byte range falls outside
+        the session's declared length are counted and dropped
+        (``n_rejected`` / ``n_foreign`` / ``n_duplicate`` /
+        ``n_out_of_range``).
+        """
         try:
             packet = parse_packet(raw)
         except PacketFormatError:
@@ -143,10 +172,18 @@ class ArqReceiver:
         if self.session_id is None:
             self.session_id = header.session_id
             self.total_len = header.total_len
-        elif header.session_id != self.session_id:
+        elif header.session_id != self.session_id or header.total_len != self.total_len:
+            self.n_foreign += 1
             return False
         self.n_received += 1
+        assert self.total_len is not None
+        if header.seq >= self.total_len or header.seq + len(packet.payload) > self.total_len:
+            # A stored out-of-range fragment would silently grow the
+            # reassembly buffer past the declared length in payload().
+            self.n_out_of_range += 1
+            return False
         if header.seq in self._fragments:
+            self.n_duplicate += 1
             return False
         self._fragments[header.seq] = packet.payload
         return True
@@ -248,8 +285,19 @@ class ArqSession:
         accounted into :attr:`ArqStats.elapsed_s`.
     max_rounds:
         Hard bound on forward rounds before giving up.
+    retry_budget:
+        Degradation bound: maximum retransmitted packets across the whole
+        session (None = unlimited).  When the budget runs out the session
+        ends and reports whatever bytes arrived (partial delivery).
+    deadline_s:
+        Degradation bound: virtual-time deadline; no new round starts
+        once ``elapsed_s`` reaches it.
+    backoff_jitter:
+        Fractional jitter on the exponential backoff (a timeout grows by
+        ``backoff * (1 +/- jitter)``), decorrelating retry storms.  0
+        disables the extra draws, keeping legacy sessions bit-stable.
     rng:
-        Generator for feedback-loss draws.
+        Generator for feedback-loss and backoff-jitter draws.
     """
 
     def __init__(
@@ -263,6 +311,9 @@ class ArqSession:
         backoff: float = 2.0,
         packet_airtime_s: float = 0.1,
         max_rounds: int = 16,
+        retry_budget: int | None = None,
+        deadline_s: float | None = None,
+        backoff_jitter: float = 0.0,
         rng: np.random.Generator | None = None,
     ) -> None:
         check_in_range(feedback_loss, "feedback_loss", 0.0, 1.0)
@@ -270,6 +321,11 @@ class ArqSession:
         check_positive(backoff, "backoff")
         check_positive(packet_airtime_s, "packet_airtime_s")
         check_positive_int(max_rounds, "max_rounds")
+        check_in_range(backoff_jitter, "backoff_jitter", 0.0, 1.0)
+        if retry_budget is not None and retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {retry_budget}")
+        if deadline_s is not None:
+            check_positive(deadline_s, "deadline_s")
         self.sender = ArqSender(payload, chunk_bytes, session_id=session_id)
         self.receiver = ArqReceiver()
         self.forward = forward
@@ -278,10 +334,20 @@ class ArqSession:
         self.backoff = backoff
         self.packet_airtime_s = packet_airtime_s
         self.max_rounds = max_rounds
+        self.retry_budget = retry_budget
+        self.deadline_s = deadline_s
+        self.backoff_jitter = backoff_jitter
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def run(self) -> tuple[ArqStats, bytes | None]:
-        """Execute rounds until delivery, returning (stats, payload|None)."""
+        """Execute rounds until delivery, returning (stats, payload|None).
+
+        With a ``retry_budget`` or ``deadline_s`` the session degrades
+        instead of looping: it stops at the bound, flags which one fired
+        in the stats, and reports the bytes that did arrive
+        (:attr:`ArqStats.delivered_bytes`) so callers can act on partial
+        delivery.
+        """
         to_send = self.sender.all_packets()
         timeout = self.timeout_s
         elapsed = 0.0
@@ -291,7 +357,19 @@ class ArqSession:
         timeouts = 0
         rounds = 0
         delivered = False
+        deadline_hit = False
+        budget_exhausted = False
+        budget = self.retry_budget
         for round_index in range(self.max_rounds):
+            if self.deadline_s is not None and elapsed >= self.deadline_s:
+                deadline_hit = True
+                break
+            if round_index > 0 and budget is not None:
+                if budget <= 0:
+                    budget_exhausted = True
+                    break
+                to_send = to_send[:budget]
+                budget -= len(to_send)
             rounds = round_index + 1
             packets_sent += len(to_send)
             elapsed += len(to_send) * self.packet_airtime_s
@@ -314,18 +392,29 @@ class ArqSession:
                 timeouts += 1
                 elapsed += timeout
                 timeout *= self.backoff
+                if self.backoff_jitter > 0.0:
+                    timeout *= 1.0 + self.backoff_jitter * (
+                        2.0 * float(self.rng.random()) - 1.0
+                    )
                 to_send = self.sender.all_packets()
             if not to_send:
                 break
+        receiver = self.receiver
         stats = ArqStats(
             delivered=delivered,
             rounds=rounds,
             packets_sent=packets_sent,
-            retransmissions=packets_sent - self.sender.n_packets,
+            retransmissions=max(packets_sent - self.sender.n_packets, 0),
             nacks_sent=nacks_sent,
             nacks_delivered=nacks_delivered,
             timeouts=timeouts,
             elapsed_s=elapsed,
+            delivered_bytes=receiver.received_bytes,
+            deadline_hit=deadline_hit,
+            budget_exhausted=budget_exhausted,
+            n_foreign=receiver.n_foreign,
+            n_duplicate=receiver.n_duplicate,
+            n_out_of_range=receiver.n_out_of_range,
         )
-        payload = self.receiver.payload() if delivered else None
+        payload = receiver.payload() if delivered else None
         return stats, payload
