@@ -127,6 +127,43 @@ def format_report(record: dict) -> str:
     return "\n".join(lines)
 
 
+def measure_telemetry_overhead(
+    scale_name: str = "quick",
+    n_video_frames: int = 32,
+    seed: int = 1,
+    repeats: int = 3,
+) -> dict:
+    """Serial-link wall clock with telemetry collection off vs on.
+
+    Uses best-of-*repeats* timings (the standard noise filter for
+    micro-overheads) after one warmup run; the ratio is the cost of the
+    ``repro.obs`` spans, counters and histogram fills along the pipeline.
+    """
+    scale = replace(
+        getattr(ExperimentScale, scale_name)(), n_video_frames=n_video_frames
+    )
+    config = scale.config(amplitude=20.0, tau=12)
+    video = scale.video("gray")
+    camera = scale.camera()
+
+    def one(collect: bool) -> float:
+        wall0 = time.perf_counter()
+        run_link(config, video, camera=camera, seed=seed, collect_telemetry=collect)
+        return time.perf_counter() - wall0
+
+    one(False)  # warmup: caches, imports
+    off_s = min(one(False) for _ in range(repeats))
+    on_s = min(one(True) for _ in range(repeats))
+    return {
+        "scale": scale_name,
+        "n_video_frames": n_video_frames,
+        "repeats": repeats,
+        "telemetry_off_s": off_s,
+        "telemetry_on_s": on_s,
+        "overhead_ratio": max(0.0, on_s / off_s - 1.0),
+    }
+
+
 # ----------------------------------------------------------------------
 # pytest entry point (quick mode -- this is what CI smoke-runs)
 # ----------------------------------------------------------------------
@@ -148,6 +185,22 @@ def test_runtime_worker_sweep(benchmark, emit, results_dir):
     if record["usable_cpus"] >= 4:
         by_workers = {run["workers"]: run for run in record["runs"]}
         assert by_workers[4]["speedup_vs_serial"] >= 1.5
+
+
+def test_telemetry_overhead_within_budget(benchmark, emit, results_dir):
+    from conftest import run_once
+
+    record = run_once(benchmark, lambda: measure_telemetry_overhead())
+    emit(
+        "bench_telemetry_overhead",
+        f"telemetry overhead: off={record['telemetry_off_s']:.3f}s "
+        f"on={record['telemetry_on_s']:.3f}s "
+        f"(+{record['overhead_ratio'] * 100:.2f}%)",
+    )
+    with open(os.path.join(results_dir, "bench_telemetry_overhead.json"), "w") as f:
+        json.dump(record, f, indent=2)
+    # The observability budget: collection costs at most 5% wall clock.
+    assert record["overhead_ratio"] <= 0.05
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -185,7 +238,16 @@ def main(argv: list[str] | None = None) -> int:
         worker_counts=tuple(args.workers),
         seed=args.seed,
     )
+    overhead = measure_telemetry_overhead(
+        scale_name=scale_name, n_video_frames=min(n_frames, 32), seed=args.seed
+    )
+    record["telemetry_overhead"] = overhead
     print(format_report(record))
+    print(
+        f"telemetry overhead: off={overhead['telemetry_off_s']:.3f}s "
+        f"on={overhead['telemetry_on_s']:.3f}s "
+        f"(+{overhead['overhead_ratio'] * 100:.2f}%)"
+    )
     os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
     with open(args.out, "w") as f:
         json.dump(record, f, indent=2)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.checks.engine import Rule
 from repro.checks.rules.api import PublicApiAnnotationRule
 from repro.checks.rules.dtype import Uint8ArithmeticRule, UnclippedUint8CastRule
+from repro.checks.rules.obs import LibraryPrintRule
 from repro.checks.rules.resources import ExecutorRule, SharedMemoryRule
 from repro.checks.rules.rng import (
     HashInSeedRule,
@@ -36,5 +37,6 @@ def all_rules() -> list[Rule]:
         SharedMemoryRule(),
         ExecutorRule(),
         PublicApiAnnotationRule(),
+        LibraryPrintRule(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

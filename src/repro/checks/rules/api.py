@@ -1,7 +1,7 @@
 """Public-API typing rule.
 
-``repro.core``, ``repro.runtime``, ``repro.transport`` and
-``repro.checks`` are the packages other code builds on; their public
+``repro.core``, ``repro.runtime``, ``repro.transport``, ``repro.checks``,
+``repro.faults`` and ``repro.obs`` are the packages other code builds on; their public
 surface must be fully annotated so mypy's strict profile (see
 ``pyproject.toml``) has real types to check and callers get a contract
 instead of a guess.  The rule is the in-repo enforcement of the same
@@ -25,7 +25,7 @@ from repro.checks.engine import FileContext, Finding, Rule
 from repro.checks.rules._ast_utils import enclosing_functions
 
 #: Sub-packages of ``repro`` held to the strict-typing bar.
-TYPED_PACKAGES = ("core", "runtime", "transport", "checks", "faults")
+TYPED_PACKAGES = ("core", "runtime", "transport", "checks", "faults", "obs")
 
 #: Dunders that are part of a class's public behaviour contract.
 _CHECKED_DUNDERS = frozenset(

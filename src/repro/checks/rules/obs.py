@@ -1,0 +1,56 @@
+"""Observability rule: library code reports through repro.obs, not stdout.
+
+With :mod:`repro.obs` in place, every layer of the pipeline has a proper
+channel for diagnostics -- metrics, spans, and the structured reports
+the CLIs render.  A bare ``print()`` in library code bypasses all of
+that: it cannot be merged across workers, silently interleaves under a
+process pool, and pollutes the stdout of callers that compose the
+library (``--json`` consumers in particular).  The CLIs under
+``repro/tools/`` are the presentation layer and stay free to print.
+
+Rules
+-----
+OBS001
+    Library code calls the ``print()`` builtin; record a metric, emit a
+    span/event, or return a report object instead (see
+    ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.checks.engine import FileContext, Finding, Rule
+
+
+class LibraryPrintRule(Rule):
+    """OBS001: no bare ``print()`` in library code (tools are exempt)."""
+
+    rule_id = "OBS001"
+    description = "library code must not print(); use repro.obs or return a report"
+
+    def applies_to(self, relpath: str) -> bool:
+        parts = Path(relpath).parts
+        if "repro" in parts:
+            index = parts.index("repro")
+            remainder = parts[index + 1 :]
+            # The CLIs under repro/tools/ are the presentation layer.
+            return len(remainder) >= 1 and remainder[0] != "tools"
+        # Outside the repro package (fixtures, scripts) the rule applies
+        # wherever the engine is pointed.
+        return True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield self.finding(
+                    context,
+                    node,
+                    "print() in library code; record telemetry via repro.obs "
+                    "or return a report object the CLIs can render",
+                )

@@ -36,6 +36,7 @@ from repro.core.config import InFrameConfig
 from repro.core.geometry import FrameGeometry
 from repro.core.parity import decode_gob_grid
 from repro.core.smoothing import SmoothingWaveform
+from repro.obs import Telemetry
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,12 @@ class BlockObservation:
 
 @dataclass(frozen=True)
 class DecodedDataFrame:
-    """The receiver's verdict on one data frame."""
+    """The receiver's verdict on one data frame.
+
+    ``spread`` is the distance between the two noise clusters' means
+    (the unit the confidence margin is measured in); 0.0 when the frame
+    decoded degenerately with a single cluster.
+    """
 
     index: int
     bits: np.ndarray
@@ -69,6 +75,7 @@ class DecodedDataFrame:
     noise_map: np.ndarray
     threshold: float
     n_captures: int
+    spread: float = 0.0
 
     @property
     def available_ratio(self) -> float:
@@ -678,6 +685,7 @@ class InFrameDecoder:
             noise_map=noise,
             threshold=threshold,
             n_captures=len(observations),
+            spread=spread,
         )
 
     def _threshold(self, noise: np.ndarray) -> tuple[float, float]:
@@ -815,3 +823,76 @@ def phase_from_energies(
         else:
             scores[i] = centered[stable].mean() - centered[~stable].mean()
     return float(phases[int(np.argmax(scores))])
+
+
+# ----------------------------------------------------------------------
+# Decode diagnostics (paper Section 4's statistics as repro.obs metrics)
+# ----------------------------------------------------------------------
+#: Bucket edges for texture-corrected per-Block noise levels (pixel counts).
+#: Fixed so worker-local histograms merge exactly (see repro.obs.metrics).
+NOISE_LEVEL_EDGES = (-8.0, -4.0, -2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+#: Bucket edges for |noise - threshold| / spread margins (spread units;
+#: compare ``InFrameConfig.decision_margin``).
+THRESHOLD_MARGIN_EDGES = (0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+
+
+def record_observation_telemetry(
+    observation: BlockObservation, telemetry: Telemetry
+) -> None:
+    """Record one capture's per-Block noise evidence into *telemetry*.
+
+    Called on the worker that extracted the observation; the histogram
+    buckets ride back with the chunk result and merge exactly, so the
+    aggregate is identical at any worker count.
+    """
+    metrics = telemetry.metrics
+    metrics.counter("decode.observations").inc()
+    metrics.histogram("decode.block_noise", NOISE_LEVEL_EDGES).observe_array(
+        observation.noise_map
+    )
+
+
+def record_decode_telemetry(
+    decoded: list[DecodedDataFrame], telemetry: Telemetry
+) -> None:
+    """Record the decided frames' Section-4 statistics into *telemetry*.
+
+    Per-frame threshold margins (in spread units), Block confidence and
+    per-GOB availability/parity accounting -- the numbers DeepLight-style
+    link debugging needs per condition, here per run.
+    """
+    metrics = telemetry.metrics
+    margins = metrics.histogram("decode.threshold_margin", THRESHOLD_MARGIN_EDGES)
+    for frame in decoded:
+        metrics.counter("decode.frames").inc()
+        if frame.spread > 1e-9:
+            margins.observe_array(
+                np.abs(frame.noise_map - frame.threshold) / frame.spread
+            )
+        metrics.counter("decode.blocks_total").inc(int(frame.confident.size))
+        metrics.counter("decode.blocks_confident").inc(int(frame.confident.sum()))
+        metrics.counter("decode.gobs_total").inc(int(frame.gob_available.size))
+        metrics.counter("decode.gobs_available").inc(int(frame.gob_available.sum()))
+        metrics.counter("decode.gob_parity_failures").inc(
+            int(np.sum(frame.gob_available & ~frame.gob_parity_ok))
+        )
+
+
+def record_healing_telemetry(report: HealingReport, telemetry: Telemetry) -> None:
+    """Record a healed decode's repairs: counters plus resync trace events."""
+    metrics = telemetry.metrics
+    metrics.counter("heal.windows").inc(report.windows)
+    metrics.counter("heal.relock_attempts").inc(report.relock_attempts)
+    metrics.counter("heal.resyncs").inc(report.n_resyncs)
+    metrics.counter("heal.excluded_captures").inc(report.excluded_captures)
+    metrics.counter("heal.blackout_segments").inc(
+        sum(1 for segment in report.segments if segment.blackout)
+    )
+    for event in report.resyncs:
+        telemetry.tracer.event(
+            "heal.resync",
+            capture=event.capture_index,
+            time_s=event.time_s,
+            phase_before_s=event.phase_before_s,
+            phase_after_s=event.phase_after_s,
+        )

@@ -15,6 +15,7 @@ benchmarks use.
 from __future__ import annotations
 
 import time
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import TYPE_CHECKING
 
@@ -34,6 +35,7 @@ from repro.core.metrics import LinkStats, summarize_link
 from repro.core.multiplexer import DataFrameSchedule, MultiplexedStream
 from repro.display.panel import DisplayPanel
 from repro.display.scheduler import DisplayTimeline
+from repro.obs import RunTelemetry, Telemetry
 from repro.runtime.link_exec import CaptureSource, execute_link_captures
 from repro.runtime.profiler import RuntimeReport
 from repro.video.source import VideoSource
@@ -159,6 +161,7 @@ class LinkRun:
     receiver: InFrameReceiver
     runtime: RuntimeReport | None = None
     degradation: DegradationReport | None = None
+    telemetry: RunTelemetry | None = None
 
 
 def run_link(
@@ -173,6 +176,7 @@ def run_link(
     workers: int | None = None,
     faults: FaultPlan | None = None,
     heal: bool | None = None,
+    collect_telemetry: bool = True,
 ) -> LinkRun:
     """Run the full screen->camera loop and score it against ground truth.
 
@@ -207,6 +211,12 @@ def run_link(
         (:meth:`~repro.core.decoder.InFrameDecoder.decide_observations_healed`).
         ``None`` (default) enables healing exactly when a fault plan is
         given; pass False to measure the unhealed baseline under faults.
+    collect_telemetry:
+        Collect :mod:`repro.obs` metrics and spans for this run into
+        ``LinkRun.telemetry``.  Work-scoped telemetry is bit-identical
+        across worker counts; pass False to measure the raw pipeline
+        (the toggle ``benchmarks/bench_runtime.py`` uses to price the
+        instrumentation).
     """
     wall0 = time.perf_counter()
     sender = InFrameSender(config, video, schedule=schedule, panel=panel)
@@ -234,8 +244,15 @@ def run_link(
         from repro.faults.inject import FaultInjectedCamera
 
         exec_camera = FaultInjectedCamera(camera, compiled)
+    telemetry = Telemetry(track="main") if collect_telemetry else None
     execution = execute_link_captures(
-        timeline, exec_camera, receiver.decoder, n_camera_frames, seed, workers=workers
+        timeline,
+        exec_camera,
+        receiver.decoder,
+        n_camera_frames,
+        seed,
+        workers=workers,
+        telemetry=telemetry,
     )
     captures = execution.captures
     observations = execution.observations
@@ -249,7 +266,7 @@ def run_link(
     heal_on = heal if heal is not None else compiled is not None
     healing: HealingReport | None = None
     timers = execution.timers
-    with timers.stage("decide"):
+    with timers.stage("decide"), _maybe_span(telemetry, "decide"):
         if heal_on:
             decoded_all, healing = receiver.decoder.decide_observations_healed(
                 observations
@@ -268,9 +285,29 @@ def run_link(
         raise ValueError(
             "no fully covered data frames; lengthen the video or reduce warmup"
         )
-    with timers.stage("score"):
+    with timers.stage("score"), _maybe_span(telemetry, "score"):
         truths = [sender.stream.ground_truth(d.index) for d in decoded]
         stats = summarize_link(truths, decoded, config)
+    run_telemetry: RunTelemetry | None = None
+    if telemetry is not None:
+        from repro.core.decoder import record_decode_telemetry, record_healing_telemetry
+
+        record_decode_telemetry(decoded_all, telemetry)
+        if healing is not None:
+            record_healing_telemetry(healing, telemetry)
+        if injected is not None:
+            from repro.faults.report import record_injection_telemetry
+
+            record_injection_telemetry(injected, telemetry)
+        run_telemetry = telemetry.finish(
+            meta={
+                "run": "link",
+                "seed": seed,
+                "frames": len(captures),
+                "workers": execution.workers,
+                "mode": execution.mode,
+            }
+        )
     report = RuntimeReport(
         mode=execution.mode,
         workers=execution.workers,
@@ -297,13 +334,26 @@ def run_link(
         receiver=receiver,
         runtime=report,
         degradation=degradation,
+        telemetry=run_telemetry,
     )
+
+
+def _maybe_span(telemetry: Telemetry | None, name: str) -> AbstractContextManager[None]:
+    """A work span on the parent track, or a no-op when telemetry is off."""
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.tracer.span(name)
 
 
 # ----------------------------------------------------------------------
 # Transport layer on top of the PHY
 # ----------------------------------------------------------------------
 _TRANSPORT_MODES = ("plain", "fountain", "arq", "carousel")
+
+#: Bucket edges for the realized LT symbol-degree histogram.  Degrees are
+#: small integers dominated by the robust-soliton spike at 1-2; fixed
+#: edges keep per-round merges exact (see repro.obs.metrics).
+_FOUNTAIN_DEGREE_EDGES = (2.0, 3.0, 4.0, 5.0, 7.0, 10.0, 15.0, 25.0, 50.0)
 
 
 @dataclass(frozen=True)
@@ -348,6 +398,7 @@ class TransportRun:
     arq_stats: object | None = None  # ArqStats when mode == "arq"
     runtime: RuntimeReport | None = None  # merged over all forward passes
     degradation: DegradationReport | None = None  # set when faults/heal active
+    telemetry: RunTelemetry | None = None  # transport + all rounds, merged
 
 
 def run_transport_link(
@@ -374,6 +425,7 @@ def run_transport_link(
     heal: bool | None = None,
     retry_budget: int | None = None,
     deadline_s: float | None = None,
+    collect_telemetry: bool = True,
 ) -> TransportRun:
     """Deliver *payload* over the screen->camera PHY with a transport scheme.
 
@@ -429,6 +481,12 @@ def run_transport_link(
         a cap on retransmitted packets and a virtual-time deadline.  When
         either fires the session ends early and the partial delivery is
         reported instead of looped on.  Ignored by other modes.
+    collect_telemetry:
+        Collect :mod:`repro.obs` telemetry: each round's link telemetry
+        is merged into one session record alongside ``transport.*``
+        counters, ``transport.round`` spans, the realized LT degree
+        histogram (fountain/carousel) and the ARQ accounting, exposed as
+        ``TransportRun.telemetry``.
     """
     from repro.transport.arq import ArqReceiver, ArqSender, ArqSession
     from repro.transport.carousel import BroadcastCarousel, CarouselReceiver
@@ -463,6 +521,7 @@ def run_transport_link(
         "truncated": 0,
         "blackout_rounds": 0,
     }
+    telemetry = Telemetry(track="transport") if collect_telemetry else None
 
     def forward(packets: list[bytes]) -> list[bytes]:
         """One PHY pass: multiplex the batch, film it, decode packets."""
@@ -472,17 +531,28 @@ def run_transport_link(
             faults.for_round(counters["rounds"]) if faults is not None else None
         )
         schedule = PacketSchedule(config, codec, packets)
-        run = run_link(
-            config,
-            video,
-            camera=camera,
-            schedule=schedule,
-            panel=panel,
-            seed=seed + counters["rounds"],
-            workers=workers,
-            faults=round_plan,
-            heal=heal,
+        span: AbstractContextManager[None] = (
+            telemetry.tracer.span(
+                "transport.round", round=counters["rounds"], packets=len(packets)
+            )
+            if telemetry is not None
+            else nullcontext()
         )
+        with span:
+            run = run_link(
+                config,
+                video,
+                camera=camera,
+                schedule=schedule,
+                panel=panel,
+                seed=seed + counters["rounds"],
+                workers=workers,
+                faults=round_plan,
+                heal=heal,
+                collect_telemetry=collect_telemetry,
+            )
+        if telemetry is not None:
+            telemetry.merge_run(run.telemetry)
         link_stats.append(run.stats)
         link_degradations.append(run.degradation)
         if run.runtime is not None:
@@ -537,6 +607,10 @@ def run_transport_link(
         delivered_bytes = arq_stats.delivered_bytes
         deadline_hit = arq_stats.deadline_hit
         budget_exhausted = arq_stats.budget_exhausted
+        if telemetry is not None:
+            from repro.transport.arq import record_arq_telemetry
+
+            record_arq_telemetry(arq_stats, telemetry)
     else:  # fountain / carousel
         carousel = BroadcastCarousel(payload, chunk, session_id=session_id)
         receiver = CarouselReceiver()
@@ -546,11 +620,23 @@ def run_transport_link(
                 carousel.k if receiver.decoder is None else receiver.decoder.n_missing
             )
             batch = max(2, int(np.ceil(missing * (1.0 + fountain_margin))))
+            if telemetry is not None:
+                telemetry.metrics.histogram(
+                    "fountain.degree", _FOUNTAIN_DEGREE_EDGES
+                ).observe_array(carousel.symbol_degrees(next_seq, batch))
             for raw in forward(carousel.packets(next_seq, batch)):
                 receiver.receive(raw)
             next_seq += batch
             if receiver.complete:
                 break
+        if telemetry is not None:
+            telemetry.metrics.counter("transport.rejected_packets").inc(
+                receiver.n_rejected
+            )
+            if receiver.decoder is not None:
+                telemetry.metrics.counter("fountain.redundant_symbols").inc(
+                    receiver.decoder.n_redundant
+                )
         if receiver.decoder is not None:
             delivered_bytes = min(
                 len(payload), receiver.decoder.n_decoded * chunk
@@ -599,6 +685,24 @@ def run_transport_link(
                     truncated_packets=counters["truncated"],
                 ),
             )
+    run_telemetry: RunTelemetry | None = None
+    if telemetry is not None:
+        metrics = telemetry.metrics
+        metrics.counter("transport.rounds").inc(counters["rounds"])
+        metrics.counter("transport.packets_sent").inc(counters["sent"])
+        metrics.counter("transport.packets_recovered").inc(counters["recovered"])
+        metrics.counter("transport.corrupted_packets").inc(counters["corrupted"])
+        metrics.counter("transport.truncated_packets").inc(counters["truncated"])
+        metrics.counter("transport.blackout_rounds").inc(counters["blackout_rounds"])
+        run_telemetry = telemetry.finish(
+            meta={
+                "run": "transport",
+                "transport_mode": mode,
+                "seed": seed,
+                "delivered": delivered,
+                "rounds": counters["rounds"],
+            }
+        )
     return TransportRun(
         payload=delivered_payload if delivered else None,
         stats=stats,
@@ -606,4 +710,5 @@ def run_transport_link(
         arq_stats=arq_stats,
         runtime=RuntimeReport.merge(runtime_reports),
         degradation=degradation,
+        telemetry=run_telemetry,
     )

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 from repro.core.decoder import HealingReport
+from repro.obs import Telemetry
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,12 @@ class InjectionLog:
                 for f in fields(InjectionLog)
             }
         )
+
+
+def record_injection_telemetry(log: InjectionLog, telemetry: Telemetry) -> None:
+    """Record every landed fault event as a ``faults.*`` work counter."""
+    for f in fields(InjectionLog):
+        telemetry.metrics.counter(f"faults.{f.name}").inc(getattr(log, f.name))
 
 
 @dataclass(frozen=True)

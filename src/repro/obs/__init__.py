@@ -1,0 +1,39 @@
+"""repro.obs: unified telemetry for the link pipeline.
+
+One run of the screen->camera link used to answer "what happened" with
+four disjoint report objects (stage timers, degradation, healing,
+benchmark blobs).  This package is the single telemetry surface under
+them all:
+
+* :mod:`~repro.obs.metrics` -- a registry of ``Counter`` / ``Gauge`` /
+  fixed-bucket ``Histogram`` metrics whose merges are *exact* (integer
+  adds, max-combines), so serial and ``workers=N`` runs produce
+  bit-identical work-scoped telemetry;
+* :mod:`~repro.obs.trace` -- a span tracer emitting structured records
+  with ids, parent ids and system-wide monotonic timestamps, mergeable
+  across processes and exportable as Chrome ``trace_event`` JSON;
+* :mod:`~repro.obs.telemetry` -- the live :class:`Telemetry` collector
+  (workers record locally, exports ride back with each chunk, the parent
+  merges) and the frozen :class:`RunTelemetry` attached to
+  ``LinkRun`` / ``TransportRun`` and rendered by
+  ``python -m repro.tools.report``.
+
+See ``docs/observability.md`` for the design and the determinism
+contract.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import RunTelemetry, Telemetry
+from repro.obs.trace import SpanRecord, SpanTracer, chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "SpanRecord",
+    "SpanTracer",
+    "Telemetry",
+    "chrome_trace",
+]

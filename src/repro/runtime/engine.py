@@ -28,8 +28,12 @@ from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs import Telemetry
+from repro.obs.trace import EXEC
 
 #: ``func(item, context) -> result`` -- must be a module-level function.
 WorkFn = Callable[[Any, Any], Any]
@@ -104,6 +108,10 @@ class ExecutionEngine:
         (or the pool cannot be built at all) instead of raising.
     start_method:
         Multiprocessing start method; default prefers ``fork``.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` that receives exec-scoped
+        pool accounting: one ``exec.pool_pass`` span per pool lifetime
+        and ``exec.pool_builds`` / ``exec.pool_rebuilds`` counters.
     """
 
     def __init__(
@@ -113,6 +121,7 @@ class ExecutionEngine:
         max_inflight: int | None = None,
         fallback_serial: bool = True,
         start_method: str | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.workers = default_workers() if workers is None else max(int(workers), 1)
         if max_retries < 0:
@@ -123,7 +132,22 @@ class ExecutionEngine:
         )
         self.fallback_serial = bool(fallback_serial)
         self.start_method = start_method or resolve_start_method()
+        self.telemetry = telemetry
         self.stats = EngineStats()
+
+    def _pass_span(
+        self, n_pending: int, rebuild: bool
+    ) -> AbstractContextManager[None]:
+        """An exec-scoped span around one pool lifetime (no-op untracked)."""
+        if self.telemetry is None:
+            return nullcontext()
+        metrics = self.telemetry.metrics
+        metrics.counter("exec.pool_builds", scope=EXEC).inc()
+        if rebuild:
+            metrics.counter("exec.pool_rebuilds", scope=EXEC).inc()
+        return self.telemetry.tracer.span(
+            "exec.pool_pass", category=EXEC, pending=n_pending, rebuild=rebuild
+        )
 
     @property
     def parallel(self) -> bool:
@@ -172,11 +196,12 @@ class ExecutionEngine:
             if attempts > self.max_retries:
                 break
             try:
-                pending = deque(
-                    self._pool_pass(
-                        func, items, context, pending, results, on_result, prepare
+                with self._pass_span(len(pending), rebuild=attempts > 0):
+                    pending = deque(
+                        self._pool_pass(
+                            func, items, context, pending, results, on_result, prepare
+                        )
                     )
-                )
             except OSError as exc:  # pool could not even be built
                 self.stats.errors.append(repr(exc))
                 break

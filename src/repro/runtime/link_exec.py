@@ -17,6 +17,7 @@ consecutive captures overlap only at chunk boundaries.
 from __future__ import annotations
 
 import time
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Protocol
 
@@ -24,6 +25,8 @@ import numpy as np
 
 from repro.camera.capture import CapturedFrame
 from repro.display.scheduler import DisplayTimeline
+from repro.obs import Telemetry
+from repro.obs.trace import EXEC
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.profiler import StageTimers
 from repro.runtime.scheduler import WorkChunk, plan_chunks
@@ -63,6 +66,7 @@ class _LinkContext:
     camera: CaptureSource
     decoder: InFrameDecoder
     pool: SharedFramePool | None
+    collect_telemetry: bool = True
 
 
 @dataclass(frozen=True)
@@ -89,6 +93,7 @@ class _CaptureRecord:
 class _ChunkResult:
     records: tuple[_CaptureRecord, ...]
     timings: dict
+    telemetry: dict[str, object] | None = None
 
 
 @dataclass(frozen=True)
@@ -108,14 +113,23 @@ class LinkExecution:
 
 def _capture_chunk(task: _ChunkTask, ctx: _LinkContext) -> _ChunkResult:
     """Render, film and observe every capture of one chunk (worker side)."""
+    from repro.core.decoder import record_observation_telemetry
+
     timers = StageTimers()
+    telemetry = None
+    if ctx.collect_telemetry:
+        # A deterministic track name from the chunk plan keeps (track,
+        # span_id) unique after the parent merges all chunk exports.
+        telemetry = Telemetry(track=f"chunk-{task.chunk.index:03d}")
     records = []
     for position, index in enumerate(task.chunk.items):
         rng = task.chunk.item_rng(index)
-        with timers.stage("render"):
+        with timers.stage("render"), _maybe_span(telemetry, "render", index):
             capture = ctx.camera.capture_frame(ctx.timeline, index, rng=rng)
-        with timers.stage("observe"):
+        with timers.stage("observe"), _maybe_span(telemetry, "observe", index):
             observation = ctx.decoder.observe(capture)
+        if telemetry is not None:
+            record_observation_telemetry(observation, telemetry)
         if task.slots is not None:
             with timers.stage("transfer"):
                 slot = ctx.pool.write(task.slots[position], capture.pixels)
@@ -132,7 +146,20 @@ def _capture_chunk(task: _ChunkTask, ctx: _LinkContext) -> _ChunkResult:
                 observation=observation,
             )
         )
-    return _ChunkResult(records=tuple(records), timings=timers.as_dict())
+    return _ChunkResult(
+        records=tuple(records),
+        timings=timers.as_dict(),
+        telemetry=telemetry.export() if telemetry is not None else None,
+    )
+
+
+def _maybe_span(
+    telemetry: Telemetry | None, name: str, capture: int
+) -> AbstractContextManager[None]:
+    """A telemetry span for one pipeline stage, or a no-op when disabled."""
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.tracer.span(name, capture=capture)
 
 
 def execute_link_captures(
@@ -144,16 +171,22 @@ def execute_link_captures(
     workers: int | None = None,
     max_retries: int = 2,
     start_index: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> LinkExecution:
     """Run capture + observe for *n_frames* camera frames, possibly in parallel.
 
     ``workers in (None, 0, 1)`` executes in-process (no pool, no shared
     memory) but on the same per-capture RNG streams and the same code
     path, so the results are identical either way.
+
+    When *telemetry* is given, workers collect per-capture metrics and
+    spans locally (on ``chunk-NNN`` tracks) and their exports are folded
+    into it as chunks drain; scheduling and shared-memory accounting land
+    in exec-scoped metrics on the parent side.
     """
     serial = workers is None or int(workers) <= 1
     engine = ExecutionEngine(workers=1 if serial else int(workers),
-                             max_retries=max_retries)
+                             max_retries=max_retries, telemetry=telemetry)
     if serial or not engine.parallel:
         chunks = plan_chunks(n_frames, n_chunks=1, seed=seed, start=start_index)
     else:
@@ -171,19 +204,36 @@ def execute_link_captures(
         pool = SharedFramePool(
             (camera.height, camera.width), np.float32, n_slots=slots_needed
         )
-    ctx = _LinkContext(timeline=timeline, camera=camera, decoder=decoder, pool=pool)
+    ctx = _LinkContext(
+        timeline=timeline,
+        camera=camera,
+        decoder=decoder,
+        pool=pool,
+        collect_telemetry=telemetry is not None,
+    )
     timers = StageTimers()
     by_index: dict[int, tuple[CapturedFrame, BlockObservation]] = {}
+    if telemetry is not None:
+        telemetry.metrics.counter("exec.chunks", scope=EXEC).inc(len(chunks))
+        if pool is not None:
+            telemetry.metrics.gauge("exec.shm_slots").set(pool.n_slots)
 
     def prepare(_i: int, task: _ChunkTask) -> _ChunkTask:
         if pool is None or task.slots is not None:
             return task
-        return replace(
+        prepared = replace(
             task, slots=tuple(pool.acquire() for _ in range(len(task.chunk)))
         )
+        if telemetry is not None:
+            telemetry.metrics.gauge("exec.shm_peak_occupancy").set(
+                pool.n_slots - pool.n_free
+            )
+        return prepared
 
     def drain(_i: int, result: _ChunkResult) -> None:
         timers.merge(result.timings)
+        if telemetry is not None and result.telemetry is not None:
+            telemetry.merge_export(result.telemetry)
         with timers.stage("transfer"):
             for record in result.records:
                 if record.slot is not None:
@@ -212,6 +262,13 @@ def execute_link_captures(
     finally:
         if pool is not None:
             pool.close()
+    if telemetry is not None:
+        stats = engine.stats
+        telemetry.metrics.counter("exec.retries", scope=EXEC).inc(stats.retries)
+        telemetry.metrics.counter("exec.crashes", scope=EXEC).inc(stats.crashes)
+        telemetry.metrics.counter("exec.serial_items", scope=EXEC).inc(
+            stats.serial_items
+        )
     ordered = [by_index[i] for i in sorted(by_index)]
     return LinkExecution(
         captures=[pair[0] for pair in ordered],

@@ -58,14 +58,27 @@ class StageTimers:
         return timing
 
     def merge(self, other: "StageTimers | dict[str, dict[str, float | int]]") -> None:
-        """Fold another timer set (or its ``as_dict``) into this one."""
-        items = (
-            other._stages.items()
-            if isinstance(other, StageTimers)
-            else {k: StageTiming(**v) for k, v in other.items()}.items()
-        )
-        for name, timing in items:
-            self._timing(name).add(timing.wall_s, timing.cpu_s, timing.calls)
+        """Fold another timer set (or its serialized form) into this one.
+
+        The dict form accepts any ``as_dict``-shaped payload: missing
+        fields default to zero and extra keys are ignored, so timings
+        recorded by a newer (or older) serializer still merge instead of
+        raising ``TypeError``.
+        """
+        if isinstance(other, StageTimers):
+            items = [(k, t.wall_s, t.cpu_s, t.calls) for k, t in other._stages.items()]
+        else:
+            items = [
+                (
+                    k,
+                    float(v.get("wall_s", 0.0)),
+                    float(v.get("cpu_s", 0.0)),
+                    int(v.get("calls", 0)),
+                )
+                for k, v in other.items()
+            ]
+        for name, wall_s, cpu_s, calls in items:
+            self._timing(name).add(wall_s, cpu_s, calls)
 
     def as_dict(self) -> dict[str, dict[str, float | int]]:
         return {name: timing.as_dict() for name, timing in self._stages.items()}

@@ -1,0 +1,139 @@
+"""CLI: render a run's telemetry -- terminal summary, JSON, Chrome trace.
+
+Reads the ``--telemetry-out`` files the other tools write (``simulate``,
+``transfer``, ``sweep``) and renders them without re-running anything.
+Several files merge into one report (metric merges are exact; see
+:mod:`repro.obs.metrics`).
+
+Example::
+
+    python -m repro.tools.simulate --telemetry-out run.json
+    python -m repro.tools.report run.json
+    python -m repro.tools.report run.json --json | jq .metrics
+    python -m repro.tools.report run.json --trace-out trace.json
+    # then load trace.json in Perfetto or chrome://tracing
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import cast
+
+from repro.obs import RunTelemetry
+
+#: Chrome trace_event phases the exporter emits.
+_TRACE_PHASES = {"X", "i", "M"}
+
+
+def load_telemetry(path: str | Path) -> RunTelemetry:
+    """Read one ``--telemetry-out`` file back into a :class:`RunTelemetry`.
+
+    Raises
+    ------
+    ValueError:
+        If the file is not a ``repro.obs/1`` telemetry payload.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a telemetry JSON object")
+    return RunTelemetry.from_dict(payload)
+
+
+def validate_chrome_trace(trace: object) -> list[str]:
+    """Schema-sanity problems with a Chrome ``trace_event`` payload.
+
+    Returns an empty list when the payload is loadable by Perfetto /
+    ``chrome://tracing``: a ``traceEvents`` list whose entries carry the
+    required ``name``/``ph``/``pid``/``tid`` fields, with ``ts`` and
+    ``dur`` where their phase demands them.  Used by the CI smoke job and
+    the tests; deliberately a checker, not an exception, so callers can
+    report every problem at once.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _TRACE_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if phase in ("X", "i") and not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: phase {phase!r} needs a numeric 'ts'")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"{where}: complete event needs a numeric 'dur'")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant event needs scope 's' in t/p/g")
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tool's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.report",
+        description="Render repro.obs telemetry files written by the other tools.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="TELEMETRY_JSON",
+        help="one or more --telemetry-out files; several merge into one report",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the (merged) telemetry as a JSON object instead of the summary",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also write the spans as Chrome trace_event JSON (Perfetto-loadable)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    runs: list[RunTelemetry | None] = []
+    for path in args.files:
+        try:
+            runs.append(load_telemetry(path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"{path}: {exc}")
+    merged = RunTelemetry.merge(runs)
+    if merged is None:  # pragma: no cover - nargs='+' guarantees a file
+        parser.error("no telemetry loaded")
+    if args.trace_out:
+        trace = merged.chrome_trace()
+        problems = validate_chrome_trace(trace)
+        if problems:  # pragma: no cover - exporter and validator agree
+            parser.error("trace export failed validation: " + "; ".join(problems))
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+        if not args.json:
+            n_events = len(cast("list[object]", trace["traceEvents"]))
+            print(f"wrote {n_events} trace events to {args.trace_out}")
+    if args.json:
+        print(json.dumps(merged.as_dict(), indent=2))
+    else:
+        print(merged.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,26 @@ from dataclasses import replace
 from repro.analysis.experiments import ExperimentScale
 from repro.core.pipeline import run_link
 from repro.faults import FaultPlan
+from repro.obs import RunTelemetry
+
+
+def add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--telemetry-out`` option (see ``repro.tools.report``)."""
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's repro.obs telemetry as JSON "
+        "(render it with python -m repro.tools.report)",
+    )
+
+
+def write_telemetry(path: str | None, telemetry: RunTelemetry | None) -> None:
+    """Write a run's ``RunTelemetry`` (if any) where ``--telemetry-out`` asked."""
+    if path is None or telemetry is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(telemetry.as_dict(), handle, indent=2)
 
 
 def add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the runtime's per-stage wall/CPU breakdown",
     )
+    add_telemetry_argument(parser)
     add_fault_arguments(parser)
     return parser
 
@@ -144,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     elapsed_s = time.perf_counter() - wall0
     stats = run.stats
+    write_telemetry(args.telemetry_out, run.telemetry)
     if args.json:
         record = dataclasses.asdict(stats)
         record["throughput_kbps"] = stats.throughput_kbps

@@ -16,8 +16,14 @@ from repro.analysis.experiments import ExperimentScale
 from repro.analysis.reporting import format_table
 from repro.core.pipeline import run_link
 from repro.faults import FaultPlan
+from repro.obs import RunTelemetry
 from repro.runtime.engine import ExecutionEngine
-from repro.tools.simulate import add_fault_arguments, parse_fault_plan
+from repro.tools.simulate import (
+    add_fault_arguments,
+    add_telemetry_argument,
+    parse_fault_plan,
+    write_telemetry,
+)
 
 SWEEPABLE = {
     "tau": int,
@@ -37,28 +43,34 @@ class _SweepContext:
     seed: int
     faults: FaultPlan | None = None
     heal: bool | None = None
+    collect_telemetry: bool = False
 
 
-def _sweep_cell(value, ctx: _SweepContext) -> list:
-    """One table row; module-level so the engine can dispatch it to workers."""
+def _sweep_cell(value, ctx: _SweepContext) -> tuple[list, dict | None]:
+    """One table row (plus the cell's serialized telemetry, when collected);
+    module-level so the engine can dispatch it to workers."""
     try:
         config = ctx.scale.config().with_updates(**{ctx.parameter: value})
     except ValueError as exc:
-        return [value, f"invalid: {exc}", "", ""]
-    stats = run_link(
+        return [value, f"invalid: {exc}", "", ""], None
+    run = run_link(
         config,
         ctx.scale.video(ctx.video_name),
         camera=ctx.scale.camera(),
         seed=ctx.seed,
         faults=ctx.faults,
         heal=ctx.heal,
-    ).stats
-    return [
+        collect_telemetry=ctx.collect_telemetry,
+    )
+    stats = run.stats
+    row = [
         value,
         f"{stats.available_gob_ratio * 100:.1f}%",
         f"{stats.gob_error_rate * 100:.1f}%",
         f"{stats.throughput_kbps:.2f}",
     ]
+    telemetry = run.telemetry.as_dict() if run.telemetry is not None else None
+    return row, telemetry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run sweep cells on this many worker processes (default: serial)",
     )
+    add_telemetry_argument(parser)
     add_fault_arguments(parser)
     return parser
 
@@ -110,14 +123,25 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         faults=faults,
         heal=heal,
+        collect_telemetry=args.telemetry_out is not None,
     )
     if args.workers is not None and args.workers > 1:
         # Each cell is one independent run_link; the engine spreads cells
         # over processes and falls back to serial if the pool dies.
         engine = ExecutionEngine(workers=args.workers)
-        rows = engine.map(_sweep_cell, values, context=context)
+        cells = engine.map(_sweep_cell, values, context=context)
     else:
-        rows = [_sweep_cell(value, context) for value in values]
+        cells = [_sweep_cell(value, context) for value in values]
+    rows = [row for row, _ in cells]
+    if args.telemetry_out is not None:
+        merged = RunTelemetry.merge(
+            [
+                RunTelemetry.from_dict(payload)
+                for _, payload in cells
+                if payload is not None
+            ]
+        )
+        write_telemetry(args.telemetry_out, merged)
     print(
         format_table(
             [args.parameter, "avail", "err", "throughput kbps"],

@@ -19,7 +19,13 @@ import numpy as np
 
 from repro.analysis.experiments import ExperimentScale
 from repro.core.pipeline import run_transport_link
-from repro.tools.simulate import add_fault_arguments, parse_fault_plan
+from repro.obs import RunTelemetry
+from repro.tools.simulate import (
+    add_fault_arguments,
+    add_telemetry_argument,
+    parse_fault_plan,
+    write_telemetry,
+)
 
 _MODES = ("plain", "fountain", "arq", "carousel")
 
@@ -93,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the runtime's per-stage wall/CPU breakdown per mode",
     )
+    add_telemetry_argument(parser)
     add_fault_arguments(parser)
     group = parser.add_argument_group("degradation policy")
     group.add_argument(
@@ -155,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
 
     results = []
     records = []
+    telemetries: list[RunTelemetry | None] = []
     for mode in modes:
         wall0 = time.perf_counter()
         run = run_transport_link(
@@ -178,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         elapsed_s = time.perf_counter() - wall0
         results.append(run.stats)
+        telemetries.append(run.telemetry)
         record = dataclasses.asdict(run.stats)
         record["elapsed_s"] = elapsed_s
         frames = run.runtime.frames if run.runtime is not None else 0
@@ -196,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
             if args.profile and run.runtime is not None:
                 print(run.runtime.summary())
 
+    write_telemetry(args.telemetry_out, RunTelemetry.merge(telemetries))
     if args.json:
         print(json.dumps(records[0] if args.mode != "all" else records, indent=2))
     if args.mode == "all":

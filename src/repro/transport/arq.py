@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_in_range, check_positive, check_positive_int
+from repro.obs import Telemetry
 from repro.transport.packet import (
     FLAG_FIN,
     Packet,
@@ -82,6 +83,20 @@ class ArqStats:
             f"retx={self.retransmissions:4d} nacks={self.nacks_delivered}/"
             f"{self.nacks_sent} timeouts={self.timeouts}{marks}"
         )
+
+
+def record_arq_telemetry(stats: ArqStats, telemetry: Telemetry) -> None:
+    """Record one session's ARQ accounting as ``arq.*`` work counters."""
+    metrics = telemetry.metrics
+    metrics.counter("arq.rounds").inc(stats.rounds)
+    metrics.counter("arq.packets_sent").inc(stats.packets_sent)
+    metrics.counter("arq.retransmissions").inc(stats.retransmissions)
+    metrics.counter("arq.nacks_sent").inc(stats.nacks_sent)
+    metrics.counter("arq.nacks_delivered").inc(stats.nacks_delivered)
+    metrics.counter("arq.timeouts").inc(stats.timeouts)
+    metrics.counter("arq.rejected_foreign").inc(stats.n_foreign)
+    metrics.counter("arq.rejected_duplicate").inc(stats.n_duplicate)
+    metrics.counter("arq.rejected_out_of_range").inc(stats.n_out_of_range)
 
 
 class ArqSender:

@@ -79,6 +79,10 @@ class BroadcastCarousel:
         """``count`` consecutive packets starting at symbol *start*."""
         return [self.packet(start + i) for i in range(count)]
 
+    def symbol_degrees(self, start: int, count: int) -> list[int]:
+        """The LT degrees of ``count`` symbols from *start* (for telemetry)."""
+        return [self.encoder.degree(start + i) for i in range(count)]
+
     def stream(self, start: int = 0) -> Iterator[bytes]:
         """An endless packet iterator from symbol *start* on."""
         index = start

@@ -84,6 +84,16 @@ def symbol_neighbors(
     return np.sort(rng.choice(k, size=degree, replace=False))
 
 
+def symbol_degree(k: int, seed: int, seq: int, distribution: np.ndarray) -> int:
+    """The number of source blocks XORed into symbol *seq*.
+
+    Same derivation as :func:`symbol_neighbors` (systematic symbols have
+    degree 1); used by the telemetry layer to histogram the realized
+    degree distribution of a session's sent symbols.
+    """
+    return int(symbol_neighbors(k, seed, seq, distribution).size)
+
+
 class LTEncoder:
     """Generate LT encoding symbols from a byte payload.
 
@@ -124,6 +134,10 @@ class LTEncoder:
     def neighbors(self, seq: int) -> np.ndarray:
         """The source blocks combined into symbol *seq*."""
         return symbol_neighbors(self.k, self.seed, seq, self._distribution)
+
+    def degree(self, seq: int) -> int:
+        """How many source blocks symbol *seq* combines."""
+        return symbol_degree(self.k, self.seed, seq, self._distribution)
 
     def symbol(self, seq: int) -> bytes:
         """Encoding symbol *seq*: the XOR of its neighbour blocks."""

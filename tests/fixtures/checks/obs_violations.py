@@ -1,0 +1,18 @@
+"""Violating fixture for the OBS001 library-print rule."""
+
+from __future__ import annotations
+
+
+def prints_progress(n: int) -> int:
+    """OBS001: library code writing progress to stdout."""
+    print(f"processed {n} items")
+    return n
+
+
+class Worker:
+    def run(self, items: list[int]) -> int:
+        total = 0
+        for item in items:
+            total += item
+            print("item done", item)  # OBS001 inside a method too
+        return total

@@ -50,7 +50,7 @@ class TestRuleCatalogue:
 class TestCleanFixtures:
     @pytest.mark.parametrize(
         "name",
-        ["rng_clean.py", "dtype_clean.py", "resources_clean.py", "api_clean.py"],
+        ["rng_clean.py", "dtype_clean.py", "resources_clean.py", "api_clean.py", "obs_clean.py"],
     )
     def test_clean_fixture_has_no_findings(self, capsys, name):
         code, payload = run_cli(capsys, str(FIXTURES / name), "--no-baseline")
@@ -74,6 +74,7 @@ class TestViolatingFixtures:
         "dtype_violations.py": {"DT001", "DT002"},
         "resources_violations.py": {"RES001", "RES002"},
         "api_violations.py": {"API001"},
+        "obs_violations.py": {"OBS001"},
     }
 
     @pytest.mark.parametrize("name", sorted(CASES))

@@ -32,6 +32,7 @@ from repro.runtime import (
     spawn_rng,
 )
 from repro.runtime.engine import resolve_start_method
+from repro.runtime.profiler import StageTiming
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +245,30 @@ class TestProfiler:
 
     def test_merge_empty_is_none(self):
         assert RuntimeReport.merge([]) is None
+
+    def test_stage_timing_add_accumulates(self):
+        timing = StageTiming()
+        timing.add(1.5, 0.5)
+        timing.add(0.5, 0.25, calls=3)
+        assert timing.wall_s == pytest.approx(2.0)
+        assert timing.cpu_s == pytest.approx(0.75)
+        assert timing.calls == 4
+        assert timing.as_dict() == {"wall_s": 2.0, "cpu_s": 0.75, "calls": 4}
+
+    def test_merge_dict_form_tolerates_partial_entries(self):
+        timers = StageTimers()
+        timers.merge(
+            {
+                "render": {"wall_s": 1.0, "cpu_s": 0.5, "calls": 2},
+                "observe": {"wall_s": 0.25},  # cpu_s and calls default to zero
+                "decide": {"calls": 1, "queue_depth": 7},  # extra keys ignored
+            }
+        )
+        merged = timers.as_dict()
+        assert merged["render"] == {"wall_s": 1.0, "cpu_s": 0.5, "calls": 2}
+        assert merged["observe"] == {"wall_s": 0.25, "cpu_s": 0.0, "calls": 0}
+        assert merged["decide"] == {"wall_s": 0.0, "cpu_s": 0.0, "calls": 1}
+        assert "queue_depth" not in merged["decide"]
 
 
 # ----------------------------------------------------------------------

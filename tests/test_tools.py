@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.tools import budget, flicker, simulate, sweep, transfer
+from repro.tools import budget, flicker, report, simulate, sweep, transfer
 
 
 class TestSimulateCLI:
@@ -211,3 +211,85 @@ class TestSweepCLI:
         assert sweep.main(args + ["--workers", "2"]) == 0
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
+
+
+class TestTelemetryCLI:
+    """The --telemetry-out / repro.tools.report loop."""
+
+    def test_simulate_writes_loadable_telemetry(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        code = simulate.main(
+            ["--scale", "quick", "--seed", "3", "--telemetry-out", str(out_path)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        telemetry = report.load_telemetry(out_path)
+        assert telemetry.meta["run"] == "link"
+        assert telemetry.metrics["decode.frames"]["value"] >= 1
+
+    def test_report_summary_and_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        trace_path = tmp_path / "trace.json"
+        assert simulate.main(["--scale", "quick", "--telemetry-out", str(out_path)]) == 0
+        capsys.readouterr()
+        code = report.main([str(out_path), "--trace-out", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decode.frames" in out
+        assert "trace events" in out
+        trace = json.loads(trace_path.read_text())
+        assert report.validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert {"render", "observe", "decide", "score"} <= names
+
+    def test_report_json_merges_files_exactly(self, capsys, tmp_path):
+        paths = []
+        for n in (1, 2):
+            path = tmp_path / f"run{n}.json"
+            assert simulate.main(
+                ["--scale", "quick", "--seed", "3", "--telemetry-out", str(path)]
+            ) == 0
+            paths.append(str(path))
+        capsys.readouterr()
+        assert report.main(paths + ["--json"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["meta"]["merged_runs"] == 2
+        one = report.load_telemetry(paths[0])
+        assert (
+            merged["metrics"]["decode.observations"]["value"]
+            == 2 * one.metrics["decode.observations"]["value"]
+        )
+
+    def test_report_rejects_non_telemetry_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "something-else"}')
+        with pytest.raises(SystemExit):
+            report.main([str(bad)])
+        capsys.readouterr()
+
+    def test_sweep_telemetry_covers_every_cell(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        code = sweep.main(
+            [
+                "--parameter", "tau", "--values", "10", "12",
+                "--scale", "quick", "--telemetry-out", str(out_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        telemetry = report.load_telemetry(out_path)
+        assert telemetry.meta["merged_runs"] == 2
+
+    def test_transfer_telemetry_carries_transport_metrics(self, capsys, tmp_path):
+        out_path = tmp_path / "transfer.json"
+        code = transfer.main(
+            [
+                "--bytes", "48", "--mode", "fountain", "--scale", "quick",
+                "--max-rounds", "2", "--telemetry-out", str(out_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        telemetry = report.load_telemetry(out_path)
+        assert telemetry.metrics["transport.rounds"]["value"] >= 1
+        assert "fountain.degree" in telemetry.metrics
