@@ -21,6 +21,7 @@ the screen-camera channel limitations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Protocol
 
 import numpy as np
 from scipy import ndimage
@@ -30,7 +31,38 @@ from repro.camera.geometry import PerspectiveView, warp_image
 from repro.camera.optics import OpticsModel
 from repro.camera.rolling_shutter import RollingShutter
 from repro.camera.sensor import SensorModel
-from repro.display.scheduler import DisplayTimeline
+from repro.display.panel import DisplayPanel
+
+
+class TimelineLike(Protocol):
+    """The display-timeline surface the capture pipeline consumes.
+
+    :class:`~repro.display.scheduler.DisplayTimeline` satisfies it, and
+    so does :class:`~repro.display.scheduler.MemoizedTimeline` -- the
+    camera only ever needs the panel's clocking, the stream length and
+    the per-frame average-luminance field, so anything serving those can
+    be filmed (which is what lets a broadcast session share one
+    render-once timeline across a fleet of cameras).
+    """
+
+    @property
+    def panel(self) -> DisplayPanel:
+        """The panel doing the playback."""
+        ...
+
+    @property
+    def n_frames(self) -> int:
+        """Display frames in the stream."""
+        ...
+
+    @property
+    def duration_s(self) -> float:
+        """Total playback duration in seconds."""
+        ...
+
+    def frame_average_luminance(self, index: int) -> np.ndarray:
+        """Mean luminance field over frame *index*'s refresh interval."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -146,7 +178,7 @@ class CameraModel:
     # ------------------------------------------------------------------
     def capture_frame(
         self,
-        timeline: DisplayTimeline,
+        timeline: TimelineLike,
         index: int,
         rng: np.random.Generator | None = None,
     ) -> CapturedFrame:
@@ -202,7 +234,7 @@ class CameraModel:
 
     def capture_sequence(
         self,
-        timeline: DisplayTimeline,
+        timeline: TimelineLike,
         n_frames: int,
         rng: np.random.Generator | None = None,
         start_index: int = 0,
@@ -214,7 +246,7 @@ class CameraModel:
             for i in range(n_frames)
         ]
 
-    def frames_covering(self, timeline: DisplayTimeline) -> int:
+    def frames_covering(self, timeline: TimelineLike) -> int:
         """How many camera frames fit inside the display stream's duration."""
         usable = timeline.duration_s - self.clock_offset_s - self.readout_s - self.exposure_s
         return max(int(np.floor(usable * self.fps * (1.0 + self.clock_drift))), 0)

@@ -36,6 +36,7 @@ from repro.core.multiplexer import DataFrameSchedule, MultiplexedStream
 from repro.display.panel import DisplayPanel
 from repro.display.scheduler import DisplayTimeline
 from repro.obs import RunTelemetry, Telemetry
+from repro.obs.metrics import WORK
 from repro.runtime.link_exec import CaptureSource, execute_link_captures
 from repro.runtime.profiler import RuntimeReport
 from repro.video.source import VideoSource
@@ -633,6 +634,13 @@ def run_transport_link(
             telemetry.metrics.counter("transport.rejected_packets").inc(
                 receiver.n_rejected
             )
+            telemetry.metrics.counter("transport.symbols_consumed").inc(
+                receiver.symbols_consumed
+            )
+            if receiver.join_offset is not None:
+                telemetry.metrics.gauge("transport.join_offset", scope=WORK).set(
+                    receiver.join_offset
+                )
             if receiver.decoder is not None:
                 telemetry.metrics.counter("fountain.redundant_symbols").inc(
                     receiver.decoder.n_redundant

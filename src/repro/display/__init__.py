@@ -16,6 +16,18 @@ This subpackage models what matters about that panel for both channels:
 
 from repro.display.gamma import GammaCurve
 from repro.display.panel import DisplayPanel
-from repro.display.scheduler import DisplayTimeline
+from repro.display.scheduler import (
+    AverageFrameStore,
+    DictFrameStore,
+    DisplayTimeline,
+    MemoizedTimeline,
+)
 
-__all__ = ["GammaCurve", "DisplayPanel", "DisplayTimeline"]
+__all__ = [
+    "AverageFrameStore",
+    "DictFrameStore",
+    "DisplayTimeline",
+    "DisplayPanel",
+    "GammaCurve",
+    "MemoizedTimeline",
+]

@@ -15,6 +15,7 @@ Frames are produced lazily from a :class:`FrameSource`, so a multi-second
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from typing import Protocol
 
 import numpy as np
@@ -262,3 +263,119 @@ class DisplayTimeline:
         self._state = state
         self._state_index = index
         return state
+
+
+class AverageFrameStore(Protocol):
+    """Keyed storage for memoized per-frame average-luminance fields.
+
+    The default is a plain dict (:class:`DictFrameStore`); a broadcast
+    session substitutes a shared-memory backed store so forked receiver
+    workers read the very same bytes (``repro.serve.session``).
+    """
+
+    def get(self, key: int) -> np.ndarray | None:
+        """The field stored under *key*, or None when absent."""
+        ...
+
+    def put(self, key: int, field: np.ndarray) -> None:
+        """Store *field* under *key* (keys are written at most once)."""
+        ...
+
+
+class DictFrameStore:
+    """The trivial in-process :class:`AverageFrameStore`."""
+
+    def __init__(self) -> None:
+        self._fields: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def get(self, key: int) -> np.ndarray | None:
+        return self._fields.get(key)
+
+    def put(self, key: int, field: np.ndarray) -> None:
+        self._fields[key] = field
+
+
+class MemoizedTimeline:
+    """A timeline whose per-frame average fields are rendered once per key.
+
+    The camera pipeline only ever asks a timeline for
+    :meth:`DisplayTimeline.frame_average_luminance` (plus the panel and
+    the clocking properties), so a broadcast session can stand this
+    wrapper between one shared timeline and hundreds of receivers: the
+    caller supplies ``key_fn`` mapping a display-frame index to its
+    equivalence class -- for a carousel that is ``index % period``,
+    because the stream re-airs bit-identical (video frame, data frame,
+    pair phase) triples every cycle -- and each class is rendered once,
+    no matter how many receivers integrate it.
+
+    The wrapper does **not** memoize :meth:`DisplayTimeline.integrate` or
+    :meth:`DisplayTimeline.luminance_at`; those remain per-instance on
+    the inner timeline.  ``hits`` / ``misses`` count served reads and
+    renders for the ``serve.render_cache.*`` exec-scoped metrics.
+
+    Keys must be *periodic in the liquid-crystal state*, not merely in
+    frame content: ``frame_average_luminance`` folds the panel's LC
+    relaxation in, so two indices may share a key only when their
+    predecessor frames match too.  ``index % period`` over a periodic
+    stream satisfies this exactly (see ``docs/broadcast.md``).
+    """
+
+    def __init__(
+        self,
+        inner: DisplayTimeline,
+        key_fn: Callable[[int], int],
+        store: AverageFrameStore | None = None,
+    ) -> None:
+        self.inner = inner
+        self.key_fn = key_fn
+        self.store: AverageFrameStore = DictFrameStore() if store is None else store
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # The timeline surface the camera pipeline consumes
+    # ------------------------------------------------------------------
+    @property
+    def panel(self) -> DisplayPanel:
+        """The panel doing the playback."""
+        return self.inner.panel
+
+    @property
+    def n_frames(self) -> int:
+        """Display frames in the underlying stream."""
+        return self.inner.n_frames
+
+    @property
+    def duration_s(self) -> float:
+        """Total playback duration in seconds."""
+        return self.inner.duration_s
+
+    def frame_average_luminance(self, index: int) -> np.ndarray:
+        """The memoized mean-luminance field of frame *index*'s class."""
+        if not (0 <= index < self.n_frames):
+            raise IndexError(f"frame index {index} outside [0, {self.n_frames})")
+        key = self.key_fn(index)
+        field = self.store.get(key)
+        if field is not None:
+            self.hits += 1
+            return field
+        self.misses += 1
+        field = self.inner.frame_average_luminance(index)
+        self.store.put(key, field)
+        return field
+
+    def warm(self, indices: "range | list[int]") -> int:
+        """Render every class reachable from *indices*; returns new renders.
+
+        Sessions warm sequentially (the LC recursion advances frame by
+        frame, so in-order warming renders each class exactly once at
+        full accuracy) before any receiver runs; steady state afterwards
+        is hit-only.
+        """
+        before = self.misses
+        for index in indices:
+            self.frame_average_luminance(index)
+        return self.misses - before

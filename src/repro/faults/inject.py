@@ -28,9 +28,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.camera.capture import CameraModel, CapturedFrame
+from repro.camera.capture import CameraModel, CapturedFrame, TimelineLike
 from repro.core.decoder import BlockObservation
-from repro.display.scheduler import DisplayTimeline
 from repro.faults.plan import CompiledFaults
 from repro.faults.report import InjectionLog
 
@@ -63,7 +62,7 @@ class FaultInjectedCamera:
 
     def capture_frame(
         self,
-        timeline: DisplayTimeline,
+        timeline: TimelineLike,
         index: int,
         rng: np.random.Generator | None = None,
     ) -> CapturedFrame:

@@ -187,6 +187,20 @@ class FaultPlan:
             return self
         return replace(self, seed=self.seed + 0x9E3779B1 * (round_index - 1))
 
+    def for_receiver(self, receiver_index: int) -> "FaultPlan":
+        """The plan for one broadcast receiver (derived seed, same faults).
+
+        A cohort-level plan describes what *kind* of trouble its members
+        share -- the same drop rate, the same occlusion window -- but two
+        cameras in a crowd do not lose the same frames.  Each receiver
+        therefore draws from its own seed stream while the plan's
+        deterministic structure stays put, mirroring :meth:`for_round`'s
+        contract for transport rounds.
+        """
+        if receiver_index <= 0:
+            return self
+        return replace(self, seed=self.seed + 0x85EBCA6B * receiver_index)
+
     def packet_faults(self) -> "PacketFaults":
         """The transport-side slice of the plan (corrupt/truncate only).
 
@@ -206,6 +220,7 @@ class FaultPlan:
         fps: float,
         duration_s: float,
         refresh_hz: float,
+        origin_s: float = 0.0,
     ) -> "CompiledFaults":
         """Pre-draw every per-capture decision for one run.
 
@@ -216,23 +231,31 @@ class FaultPlan:
         fps:
             Nominal camera frame rate (positions ``at`` fractions).
         duration_s:
-            Display stream duration in seconds.
+            Duration in seconds the ``at`` fractions span (the display
+            stream for a from-the-start link; the receiver's own watch
+            window for a mid-stream broadcast joiner).
         refresh_hz:
             Display refresh rate; a polarity ``flip`` slips the camera
             clock by exactly one display frame (half a complementary
             pair).
+        origin_s:
+            Display-clock time of the first capture.  A link run starts
+            at zero; a broadcast receiver joining mid-carousel compiles
+            with its join time here so onsets and blackout windows land
+            inside the window it actually watches (the pixel hooks
+            compare against absolute ``mid_exposure_s`` timestamps).
         """
         if n_captures < 1:
             raise ValueError(f"n_captures must be >= 1, got {n_captures}")
-        nominal_mid = (np.arange(n_captures) + 0.5) / fps
+        nominal_mid = origin_s + (np.arange(n_captures) + 0.5) / fps
 
         time_offset = np.zeros(n_captures, dtype=np.float64)
         for fault in self.by_kind("drift"):
-            time_offset += nominal_mid * (fault["ppm"] * 1e-6)
+            time_offset += (nominal_mid - origin_s) * (fault["ppm"] * 1e-6)
         slip_s = 1.0 / refresh_hz
         flip_times: list[float] = []
         for fault in self.by_kind("flip"):
-            onset = fault["at"] * duration_s
+            onset = origin_s + fault["at"] * duration_s
             flip_times.append(onset)
             time_offset[nominal_mid >= onset] += slip_s * max(fault["frames"], 1.0)
         for fault in self.by_kind("jitter"):
@@ -281,13 +304,13 @@ class FaultPlan:
                         swaps.append((i, j))
 
         exposure_steps = tuple(
-            (f["at"] * duration_s, f["gain"]) for f in self.by_kind("exposure")
+            (origin_s + f["at"] * duration_s, f["gain"]) for f in self.by_kind("exposure")
         )
         ambient_steps = tuple(
-            (f["at"] * duration_s, f["add"]) for f in self.by_kind("ambient")
+            (origin_s + f["at"] * duration_s, f["add"]) for f in self.by_kind("ambient")
         )
         blackouts = tuple(
-            (f["at"] * duration_s, f["at"] * duration_s + f["dur"])
+            (origin_s + f["at"] * duration_s, origin_s + f["at"] * duration_s + f["dur"])
             for f in self.by_kind("blackout")
         )
 

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
-from repro.camera.capture import CapturedFrame
+from repro.camera.capture import CapturedFrame, TimelineLike
 from repro.display.scheduler import DisplayTimeline
 from repro.obs import Telemetry
 from repro.obs.trace import EXEC
@@ -52,7 +52,7 @@ class CaptureSource(Protocol):
 
     def capture_frame(
         self,
-        timeline: DisplayTimeline,
+        timeline: TimelineLike,
         index: int,
         rng: np.random.Generator | None = None,
     ) -> CapturedFrame: ...

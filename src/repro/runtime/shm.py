@@ -21,6 +21,7 @@ result queue (see :func:`shared_memory_available`).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,6 +75,14 @@ class SharedFramePool:
     :meth:`release`\\ s it after draining the result; workers only ever
     :meth:`write` into slots the parent handed them, so the free list
     needs no cross-process locking.
+
+    Slots are refcounted: :meth:`acquire` hands out a slot holding one
+    reference, :meth:`retain` adds readers, and :meth:`release` drops
+    one reference, recycling the slot only when the last reader lets
+    go.  The single-reader pipeline never notices (one acquire, one
+    release), while a broadcast session can pin its emitted-frame slots
+    across many concurrent fleet runs (``repro.serve``) and recycle
+    them exactly once.
     """
 
     def __init__(
@@ -92,6 +101,11 @@ class SharedFramePool:
             create=True, size=self.slot_bytes * self.n_slots
         )
         self._free = list(range(self.n_slots - 1, -1, -1))
+        self._refcounts: dict[int, int] = {}
+        # Allocation and refcounting are cheap read-modify-writes; the
+        # lock makes them safe for same-process concurrent readers (a
+        # broadcast session's fleet threads), not across processes.
+        self._lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -108,21 +122,53 @@ class SharedFramePool:
         return len(self._free)
 
     def acquire(self) -> SlotRef:
-        """Take a free slot; raises when the pool is exhausted."""
-        if not self._free:
-            raise RuntimeError(
-                f"shared frame pool exhausted ({self.n_slots} slots all in flight)"
-            )
-        slot = self._free.pop()
+        """Take a free slot (refcount 1); raises when the pool is exhausted."""
+        with self._lock:
+            if not self._free:
+                raise RuntimeError(
+                    f"shared frame pool exhausted ({self.n_slots} slots all in flight)"
+                )
+            slot = self._free.pop()
+            self._refcounts[slot] = 1
         return SlotRef(slot=slot, shape=self.slot_shape, dtype=self.dtype.str)
 
+    def retain(self, ref: SlotRef) -> SlotRef:
+        """Add one reader reference to *ref*'s slot.
+
+        Every :meth:`retain` must be balanced by a :meth:`release`; the
+        slot returns to the free list only when the count reaches zero.
+        """
+        self._check_slot(ref)
+        with self._lock:
+            if ref.slot not in self._refcounts:
+                raise ValueError(
+                    f"slot {ref.slot} is free; acquire it before retaining"
+                )
+            self._refcounts[ref.slot] += 1
+        return ref
+
     def release(self, ref: SlotRef) -> None:
-        """Return *ref*'s slot to the free list."""
+        """Drop one reference; recycle the slot when the last one goes."""
+        self._check_slot(ref)
+        with self._lock:
+            count = self._refcounts.get(ref.slot)
+            if count is None:
+                raise ValueError(f"slot {ref.slot} released twice")
+            if count > 1:
+                self._refcounts[ref.slot] = count - 1
+                return
+            del self._refcounts[ref.slot]
+            self._free.append(ref.slot)
+
+    def refcount(self, ref: SlotRef) -> int:
+        """Current reader count of *ref*'s slot (0 when free)."""
+        self._check_slot(ref)
+        with self._lock:
+            return self._refcounts.get(ref.slot, 0)
+
+    def _check_slot(self, ref: SlotRef) -> None:
         if not (0 <= ref.slot < self.n_slots):
             raise ValueError(f"slot {ref.slot} outside pool of {self.n_slots}")
-        if ref.slot in self._free:
-            raise ValueError(f"slot {ref.slot} released twice")
-        self._free.append(ref.slot)
 
     def read(self, ref: SlotRef, copy: bool = True) -> np.ndarray:
         """The frame in *ref*'s slot; copied by default so the slot can be recycled."""

@@ -1,0 +1,302 @@
+"""Fleet reports: per-cohort delivery analytics with exact merges.
+
+The fan-out produces one :class:`ReceiverResult` per receiver; this
+module aggregates them two ways, both deterministic at any worker count:
+
+* **Metrics** -- :func:`record_receiver_telemetry` feeds work-scoped
+  counters and fixed-edge histograms (``serve.cohort.<name>.*``) into
+  the chunk's :class:`~repro.obs.Telemetry`; chunk exports merge exactly
+  (integer adds), so the merged ``metrics_json()`` is byte-identical
+  between ``workers=1`` and ``workers=N``.
+* **Report** -- :func:`build_fleet_report` folds the results (sorted by
+  receiver id, i.e. spec order) into a :class:`FleetReport`; every sum
+  runs in that fixed order, so :meth:`FleetReport.work_json` is the
+  other byte-identity artifact.
+
+Receiver ids are assigned before chunking
+(:func:`repro.serve.cohort.compile_receivers`), which is what makes the
+sort order -- and therefore every aggregate -- independent of how the
+fleet was split across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.obs import Telemetry
+
+#: Histogram edges, fixed so chunk merges are exact (see repro.obs.metrics).
+TIME_TO_DELIVER_EDGES = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+GOODPUT_EDGES = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+JOIN_OFFSET_EDGES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+SYMBOL_EDGES = (2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+
+
+@dataclass(frozen=True)
+class ReceiverResult:
+    """What one simulated receiver experienced, end to end.
+
+    Attributes
+    ----------
+    receiver_id, cohort:
+        Identity (global spec order) and cohort name.
+    join_s:
+        When the receiver started watching, on the display clock.
+    delivered:
+        Whether the payload was recovered *and* matched the broadcast.
+    n_captures, n_data_frames:
+        Camera frames taken and data frames decoded from them.
+    join_offset:
+        Carousel symbol id of the first packet accepted (None when no
+        packet ever parsed) -- where in the cycle the receiver tuned in.
+    symbols_consumed:
+        Distinct fountain symbols the decoder ingested.
+    packets_rejected:
+        Buffers the carousel receiver discarded (corruption, truncation).
+    resyncs:
+        Phase re-locks the self-healing decoder adopted (0 when off).
+    time_to_deliver_s:
+        Join-to-payload latency on the display clock (None undelivered).
+    goodput_kbps:
+        Payload bits over that latency (None undelivered).
+    """
+
+    receiver_id: int
+    cohort: str
+    join_s: float
+    delivered: bool
+    n_captures: int
+    n_data_frames: int
+    join_offset: int | None
+    symbols_consumed: int
+    packets_rejected: int
+    resyncs: int
+    time_to_deliver_s: float | None
+    goodput_kbps: float | None
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-JSON form of this result."""
+        return {
+            "receiver_id": self.receiver_id,
+            "cohort": self.cohort,
+            "join_s": self.join_s,
+            "delivered": self.delivered,
+            "n_captures": self.n_captures,
+            "n_data_frames": self.n_data_frames,
+            "join_offset": self.join_offset,
+            "symbols_consumed": self.symbols_consumed,
+            "packets_rejected": self.packets_rejected,
+            "resyncs": self.resyncs,
+            "time_to_deliver_s": self.time_to_deliver_s,
+            "goodput_kbps": self.goodput_kbps,
+        }
+
+
+def record_receiver_telemetry(result: ReceiverResult, telemetry: Telemetry) -> None:
+    """Feed one receiver's outcome into the cohort-labelled metrics.
+
+    Everything recorded here is work-scoped: counters add and fixed-edge
+    histograms add bucket-wise, so per-chunk telemetry merges to the same
+    bytes regardless of chunking.
+    """
+    metrics = telemetry.metrics
+    prefix = f"serve.cohort.{result.cohort}"
+    metrics.counter(f"{prefix}.receivers").inc()
+    metrics.counter(f"{prefix}.captures").inc(result.n_captures)
+    metrics.counter(f"{prefix}.data_frames").inc(result.n_data_frames)
+    metrics.counter(f"{prefix}.symbols_consumed").inc(result.symbols_consumed)
+    metrics.counter(f"{prefix}.packets_rejected").inc(result.packets_rejected)
+    metrics.counter(f"{prefix}.resyncs").inc(result.resyncs)
+    if result.delivered:
+        metrics.counter(f"{prefix}.delivered").inc()
+    if result.time_to_deliver_s is not None:
+        metrics.histogram(
+            f"{prefix}.time_to_deliver_s", TIME_TO_DELIVER_EDGES
+        ).observe(result.time_to_deliver_s)
+    if result.goodput_kbps is not None:
+        metrics.histogram(f"{prefix}.goodput_kbps", GOODPUT_EDGES).observe(
+            result.goodput_kbps
+        )
+    if result.join_offset is not None:
+        metrics.histogram(f"{prefix}.join_offset", JOIN_OFFSET_EDGES).observe(
+            float(result.join_offset)
+        )
+        metrics.histogram(f"{prefix}.symbols_per_delivery", SYMBOL_EDGES).observe(
+            float(result.symbols_consumed)
+        )
+
+
+def _mean(values: list[float]) -> float | None:
+    return sum(values) / len(values) if values else None
+
+
+@dataclass(frozen=True)
+class CohortReport:
+    """Delivery analytics for one cohort of the fleet."""
+
+    name: str
+    receivers: int
+    delivered: int
+    delivery_rate: float
+    mean_time_to_deliver_s: float | None
+    max_time_to_deliver_s: float | None
+    mean_goodput_kbps: float | None
+    mean_join_offset: float | None
+    mean_symbols_consumed: float
+    mean_captures: float
+    packets_rejected: int
+    resyncs: int
+
+    @staticmethod
+    def build(name: str, results: list[ReceiverResult]) -> "CohortReport":
+        """Fold one cohort's results (already in receiver-id order)."""
+        times = [r.time_to_deliver_s for r in results if r.time_to_deliver_s is not None]
+        goodputs = [r.goodput_kbps for r in results if r.goodput_kbps is not None]
+        offsets = [float(r.join_offset) for r in results if r.join_offset is not None]
+        delivered = sum(1 for r in results if r.delivered)
+        return CohortReport(
+            name=name,
+            receivers=len(results),
+            delivered=delivered,
+            delivery_rate=delivered / len(results),
+            mean_time_to_deliver_s=_mean(times),
+            max_time_to_deliver_s=max(times) if times else None,
+            mean_goodput_kbps=_mean(goodputs),
+            mean_join_offset=_mean(offsets),
+            mean_symbols_consumed=sum(r.symbols_consumed for r in results) / len(results),
+            mean_captures=sum(r.n_captures for r in results) / len(results),
+            packets_rejected=sum(r.packets_rejected for r in results),
+            resyncs=sum(r.resyncs for r in results),
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-JSON form (the CI smoke job asserts these keys exist)."""
+        return {
+            "name": self.name,
+            "receivers": self.receivers,
+            "delivered": self.delivered,
+            "delivery_rate": self.delivery_rate,
+            "mean_time_to_deliver_s": self.mean_time_to_deliver_s,
+            "max_time_to_deliver_s": self.max_time_to_deliver_s,
+            "mean_goodput_kbps": self.mean_goodput_kbps,
+            "mean_join_offset": self.mean_join_offset,
+            "mean_symbols_consumed": self.mean_symbols_consumed,
+            "mean_captures": self.mean_captures,
+            "packets_rejected": self.packets_rejected,
+            "resyncs": self.resyncs,
+        }
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """One broadcast session's fleet, rolled up per cohort.
+
+    ``render_reads`` / ``renders`` quantify the render-once economics:
+    reads are cache hits served to receivers (summed over chunk deltas,
+    which is chunking-independent because every receiver triggers the
+    same reads wherever it runs), renders are the fields actually
+    computed (one warm pass per carousel cycle).
+    """
+
+    payload_bytes: int
+    k: int
+    cycle_packets: int
+    cycle_s: float
+    receivers: int
+    delivered: int
+    delivery_rate: float
+    render_reads: int
+    renders: int
+    cohorts: tuple[CohortReport, ...]
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Cache reads per field rendered -- the fan-out's leverage."""
+        return self.render_reads / max(self.renders, 1)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-JSON form of the whole report."""
+        return {
+            "payload_bytes": self.payload_bytes,
+            "k": self.k,
+            "cycle_packets": self.cycle_packets,
+            "cycle_s": self.cycle_s,
+            "receivers": self.receivers,
+            "delivered": self.delivered,
+            "delivery_rate": self.delivery_rate,
+            "render_reads": self.render_reads,
+            "renders": self.renders,
+            "reuse_ratio": self.reuse_ratio,
+            "cohorts": [c.as_dict() for c in self.cohorts],
+        }
+
+    def work_json(self) -> str:
+        """Canonical JSON -- the byte-identity artifact of a fleet run.
+
+        Every value folds results in receiver-id order, so the bytes
+        must match between ``workers=1`` and ``workers=N``.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def summary(self) -> str:
+        """Terminal-friendly report."""
+        lines = [
+            f"broadcast fleet: {self.receivers} receivers, "
+            f"{self.delivered} delivered ({self.delivery_rate * 100:.1f}%)",
+            f"  carousel: {self.payload_bytes} B payload, k={self.k}, "
+            f"{self.cycle_packets} packets/cycle ({self.cycle_s:.2f} s)",
+            f"  render cache: {self.renders} renders served "
+            f"{self.render_reads} reads ({self.reuse_ratio:.1f}x reuse)",
+        ]
+        for c in self.cohorts:
+            ttd = (
+                f"{c.mean_time_to_deliver_s:.2f} s"
+                if c.mean_time_to_deliver_s is not None
+                else "-"
+            )
+            goodput = (
+                f"{c.mean_goodput_kbps:.2f} kbps"
+                if c.mean_goodput_kbps is not None
+                else "-"
+            )
+            lines.append(
+                f"  cohort {c.name:<12} {c.delivered}/{c.receivers} delivered "
+                f"({c.delivery_rate * 100:.0f}%), mean join->payload {ttd}, "
+                f"goodput {goodput}, resyncs {c.resyncs}"
+            )
+        return "\n".join(lines)
+
+
+def build_fleet_report(
+    results: list[ReceiverResult],
+    *,
+    payload_bytes: int,
+    k: int,
+    cycle_packets: int,
+    cycle_s: float,
+    render_reads: int,
+    renders: int,
+) -> FleetReport:
+    """Aggregate receiver results (sorted by id) into a fleet report."""
+    if not results:
+        raise ValueError("no receiver results to report on")
+    by_cohort: dict[str, list[ReceiverResult]] = {}
+    for result in results:
+        by_cohort.setdefault(result.cohort, []).append(result)
+    cohorts = tuple(
+        CohortReport.build(name, members) for name, members in by_cohort.items()
+    )
+    delivered = sum(1 for r in results if r.delivered)
+    return FleetReport(
+        payload_bytes=payload_bytes,
+        k=k,
+        cycle_packets=cycle_packets,
+        cycle_s=cycle_s,
+        receivers=len(results),
+        delivered=delivered,
+        delivery_rate=delivered / len(results),
+        render_reads=render_reads,
+        renders=renders,
+        cohorts=cohorts,
+    )

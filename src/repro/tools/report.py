@@ -17,6 +17,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 from pathlib import Path
 from typing import cast
@@ -25,6 +26,33 @@ from repro.obs import RunTelemetry
 
 #: Chrome trace_event phases the exporter emits.
 _TRACE_PHASES = {"X", "i", "M"}
+
+
+def expand_telemetry_paths(args: list[str]) -> list[str]:
+    """Expand each CLI argument into concrete telemetry file paths.
+
+    A directory argument expands to its ``*.json`` files; an argument
+    containing glob magic (``*?[``) expands through :mod:`glob`; a plain
+    path passes through untouched.  Expansions are sorted so a fleet's
+    worth of per-receiver files merges in a stable order, and an
+    argument that expands to nothing raises :class:`ValueError` (a typo
+    should not silently vanish from the report).
+    """
+    paths: list[str] = []
+    for arg in args:
+        if Path(arg).is_dir():
+            matches = sorted(str(p) for p in Path(arg).glob("*.json"))
+            if not matches:
+                raise ValueError(f"{arg}: directory contains no .json files")
+            paths.extend(matches)
+        elif glob.has_magic(arg):
+            matches = sorted(glob.glob(arg))
+            if not matches:
+                raise ValueError(f"{arg}: glob matched no files")
+            paths.extend(matches)
+        else:
+            paths.append(arg)
+    return paths
 
 
 def load_telemetry(path: str | Path) -> RunTelemetry:
@@ -89,7 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
         "files",
         nargs="+",
         metavar="TELEMETRY_JSON",
-        help="one or more --telemetry-out files; several merge into one report",
+        help="--telemetry-out files, directories of them, or globs "
+        "(e.g. runs/ or 'runs/receiver-*.json'); everything merges into "
+        "one report",
     )
     parser.add_argument(
         "--json",
@@ -109,14 +139,18 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        files = expand_telemetry_paths(args.files)
+    except ValueError as exc:
+        parser.error(str(exc))
     runs: list[RunTelemetry | None] = []
-    for path in args.files:
+    for path in files:
         try:
             runs.append(load_telemetry(path))
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             parser.error(f"{path}: {exc}")
     merged = RunTelemetry.merge(runs)
-    if merged is None:  # pragma: no cover - nargs='+' guarantees a file
+    if merged is None:  # pragma: no cover - expansion guarantees a file
         parser.error("no telemetry loaded")
     if args.trace_out:
         trace = merged.chrome_trace()

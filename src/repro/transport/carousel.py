@@ -110,6 +110,7 @@ class CarouselReceiver:
         self.decoder: LTDecoder | None = None
         self.n_received = 0
         self.n_rejected = 0
+        self._join_offset: int | None = None
 
     def receive(self, raw: bytes) -> bool:
         """Ingest one raw packet; returns True if it advanced the decode."""
@@ -138,6 +139,8 @@ class CarouselReceiver:
                 delta=self._delta,
             )
         self.n_received += 1
+        if self._join_offset is None:
+            self._join_offset = int(header.seq)
         return self.decoder.add_symbol(header.seq, packet.payload)
 
     def _reset(self) -> None:
@@ -145,11 +148,34 @@ class CarouselReceiver:
         self.decoder = None
         self.n_received = 0
         self.n_rejected = 0
+        self._join_offset = None
 
     @property
     def complete(self) -> bool:
         """True when the payload is fully recovered."""
         return self.decoder is not None and self.decoder.complete
+
+    @property
+    def join_offset(self) -> int | None:
+        """Symbol id of the first packet accepted this session.
+
+        The carousel has no session setup, so where in the cycle a
+        receiver tuned in is exactly this first header's ``seq``;
+        cohort time-to-join analytics read it straight off the
+        receiver instead of reconstructing it from packet logs.
+        """
+        return self._join_offset
+
+    @property
+    def symbols_consumed(self) -> int:
+        """Distinct fountain symbols the decoder has ingested.
+
+        Unlike :attr:`n_received` (every accepted packet, including the
+        carousel's re-airs of symbols already held), this counts only
+        symbols that entered the decode -- the quantity rateless-code
+        overhead is measured in.
+        """
+        return 0 if self.decoder is None else self.decoder.n_received
 
     def payload(self) -> bytes:
         """The recovered payload (requires :attr:`complete`)."""

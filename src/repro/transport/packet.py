@@ -357,13 +357,30 @@ class PacketSlotAccumulator:
         self._known[slot] |= known
         self._observations[slot] += 1
 
+    def observations(self, slot: int) -> int:
+        """How many decoded frames have been merged into *slot*."""
+        if not (0 <= slot < self.n_slots):
+            raise IndexError(f"slot {slot} outside [0, {self.n_slots})")
+        return int(self._observations[slot])
+
+    def decode_slot(self, slot: int) -> bytes | None:
+        """RS-decode one slot from the evidence merged so far.
+
+        Returns ``None`` for unobserved slots and for slots still beyond
+        the erasure radius.  A carousel receiver calls this after each
+        merged frame to deliver packets the moment they become
+        decodable, instead of waiting for the end-of-round
+        :meth:`decode_packets` sweep.
+        """
+        if not self.observations(slot):
+            return None
+        return self.codec.decode_bits(self._bits[slot], self._known[slot])
+
     def decode_packets(self) -> list[bytes]:
         """RS-decode every observed slot; undecodable slots are skipped."""
         raws: list[bytes] = []
         for slot in range(self.n_slots):
-            if not self._observations[slot]:
-                continue
-            raw = self.codec.decode_bits(self._bits[slot], self._known[slot])
+            raw = self.decode_slot(slot)
             if raw is not None:
                 raws.append(raw)
         return raws

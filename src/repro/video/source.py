@@ -122,6 +122,32 @@ class ArrayVideoSource(VideoSource):
         return self._frames[self._check_index(index)]
 
 
+class LoopingVideoSource(VideoSource):
+    """A clip replayed end to end *n_loops* times.
+
+    Digital signage plays its content on a loop; the broadcast carousel
+    rides on that repetition (``repro.serve``).  Looping keeps the frame
+    stream exactly periodic -- frame ``i`` equals frame ``i mod base
+    frames`` bit for bit -- which is what lets a render cache keyed on
+    ``index mod period`` serve the whole session.
+    """
+
+    def __init__(self, base: VideoSource, n_loops: int) -> None:
+        check_positive_int(n_loops, "n_loops")
+        super().__init__(
+            base.height,
+            base.width,
+            base.fps,
+            base.n_frames * n_loops,
+            channels=base.channels,
+        )
+        self.base = base
+        self.n_loops = int(n_loops)
+
+    def frame(self, index: int) -> np.ndarray:
+        return self.base.frame(self._check_index(index) % self.base.n_frames)
+
+
 class FunctionVideoSource(VideoSource):
     """A clip generated on demand by ``render(index) -> frame``.
 

@@ -74,6 +74,44 @@ class TestFaultPlanParsing:
         r1b = plan.for_round(1).compile(**kwargs)
         assert np.array_equal(r1.dropped, r1b.dropped)
 
+    def test_for_receiver_reseeds_but_keeps_structure(self):
+        plan = FaultPlan.parse("drop:p=0.3;blackout:at=0.5,dur=0.2", seed=5)
+        kwargs = dict(n_captures=24, fps=30.0, duration_s=0.8, refresh_hz=120.0)
+        assert plan.for_receiver(0) is plan
+        a = plan.for_receiver(1)
+        b = plan.for_receiver(2)
+        assert a.seed != b.seed != plan.seed
+        assert a.spec() == b.spec() == plan.spec()
+        # Deterministic events stay put; random draws diverge per receiver.
+        ca, cb = a.compile(**kwargs), b.compile(**kwargs)
+        assert ca.blackouts == cb.blackouts
+        assert not np.array_equal(ca.dropped, cb.dropped)
+
+    def test_compile_origin_shifts_onsets_to_absolute_time(self):
+        plan = FaultPlan.parse(
+            "flip:at=0.5;exposure:at=0.25,gain=0.7;blackout:at=0.5,dur=0.2;"
+            "drift:ppm=100",
+            seed=5,
+        )
+        kwargs = dict(n_captures=24, fps=30.0, duration_s=0.8, refresh_hz=120.0)
+        base = plan.compile(**kwargs)
+        shifted = plan.compile(**kwargs, origin_s=2.0)
+        # Every onset moves by exactly the origin: a mid-stream joiner's
+        # faults land inside the window it actually watches.
+        assert shifted.flip_times_s[0] == pytest.approx(base.flip_times_s[0] + 2.0)
+        assert shifted.exposure_steps[0][0] == pytest.approx(
+            base.exposure_steps[0][0] + 2.0
+        )
+        assert shifted.blackouts[0][0] == pytest.approx(base.blackouts[0][0] + 2.0)
+        assert shifted.blackouts[0][1] == pytest.approx(base.blackouts[0][1] + 2.0)
+        # Drift accumulates over time-since-join, not absolute time, so
+        # the flip-free part of the offset table is origin-invariant.
+        drift_only = FaultPlan.parse("drift:ppm=100", seed=5)
+        assert np.allclose(
+            drift_only.compile(**kwargs).time_offset_s,
+            drift_only.compile(**kwargs, origin_s=2.0).time_offset_s,
+        )
+
 
 class TestStreamInjection:
     def _observed(self, small_config, small_sender, n=12, seed=0):

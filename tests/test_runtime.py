@@ -139,6 +139,86 @@ class TestSharedFramePool:
             assert np.all(copied == 5.0)
 
 
+class TestSharedFramePoolRefcounts:
+    def test_retain_defers_recycling_until_last_release(self):
+        with SharedFramePool((2, 2), np.float32, n_slots=1) as pool:
+            ref = pool.acquire()
+            assert pool.refcount(ref) == 1
+            pool.retain(ref)
+            pool.retain(ref)
+            assert pool.refcount(ref) == 3
+            pool.release(ref)
+            pool.release(ref)
+            assert pool.n_free == 0  # still one reader holding on
+            pool.release(ref)
+            assert pool.n_free == 1
+            assert pool.refcount(ref) == 0
+
+    def test_retain_of_free_slot_rejected(self):
+        with SharedFramePool((2, 2), np.float32, n_slots=1) as pool:
+            ref = pool.acquire()
+            pool.release(ref)
+            with pytest.raises(ValueError, match="acquire it before retaining"):
+                pool.retain(ref)
+
+    def test_release_past_zero_rejected(self):
+        with SharedFramePool((2, 2), np.float32, n_slots=2) as pool:
+            ref = pool.acquire()
+            pool.retain(ref)
+            pool.release(ref)
+            pool.release(ref)
+            with pytest.raises(ValueError, match="released twice"):
+                pool.release(ref)
+
+    def test_out_of_range_slot_rejected(self):
+        from repro.runtime.shm import SlotRef
+
+        with SharedFramePool((2, 2), np.float32, n_slots=1) as pool:
+            bogus = SlotRef(slot=5, shape=(2, 2), dtype="<f4")
+            with pytest.raises(ValueError, match="outside pool"):
+                pool.refcount(bogus)
+
+    def test_concurrent_readers_of_one_slot(self):
+        # The broadcast-session pattern: one writer fills a slot once,
+        # many readers pin it (retain), read zero-copy, and release.
+        # The slot must never recycle while any reader holds it, and
+        # every reader must see the written bytes intact.
+        import threading
+
+        with SharedFramePool((16, 16), np.float32, n_slots=1) as pool:
+            frame = np.arange(256, dtype=np.float32).reshape(16, 16)
+            ref = pool.acquire()
+            pool.write(ref, frame)
+
+            n_readers = 8
+            start = threading.Barrier(n_readers)
+            errors: list[str] = []
+            mid_read_free: list[int] = []
+
+            def read_slot() -> None:
+                start.wait()
+                pool.retain(ref)
+                try:
+                    view = pool.read(ref, copy=False)
+                    if not np.array_equal(view, frame):
+                        errors.append("reader saw torn data")
+                    mid_read_free.append(pool.n_free)
+                finally:
+                    pool.release(ref)
+
+            threads = [threading.Thread(target=read_slot) for _ in range(n_readers)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert errors == []
+            assert mid_read_free == [0] * n_readers  # never recycled mid-read
+            assert pool.refcount(ref) == 1  # only the writer's reference left
+            pool.release(ref)
+            assert pool.n_free == 1
+
+
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.tools import budget, flicker, report, simulate, sweep, transfer
+from repro.tools import budget, flicker, report, serve, simulate, sweep, transfer
 
 
 class TestSimulateCLI:
@@ -293,3 +293,77 @@ class TestTelemetryCLI:
         telemetry = report.load_telemetry(out_path)
         assert telemetry.metrics["transport.rounds"]["value"] >= 1
         assert "fountain.degree" in telemetry.metrics
+
+
+class TestExpandTelemetryPaths:
+    """Directory and glob arguments to repro.tools.report."""
+
+    def _write_runs(self, tmp_path, n=2):
+        paths = []
+        for i in range(n):
+            path = tmp_path / f"run{i}.json"
+            assert simulate.main(
+                ["--scale", "quick", "--seed", "3", "--telemetry-out", str(path)]
+            ) == 0
+            paths.append(str(path))
+        return paths
+
+    def test_directory_expands_to_sorted_json_files(self, capsys, tmp_path):
+        paths = self._write_runs(tmp_path)
+        (tmp_path / "notes.txt").write_text("not telemetry")
+        capsys.readouterr()
+        assert report.expand_telemetry_paths([str(tmp_path)]) == sorted(paths)
+
+    def test_glob_expands_and_plain_paths_pass_through(self, capsys, tmp_path):
+        paths = self._write_runs(tmp_path)
+        capsys.readouterr()
+        expanded = report.expand_telemetry_paths(
+            [str(tmp_path / "run*.json"), paths[0]]
+        )
+        assert expanded == sorted(paths) + [paths[0]]
+
+    def test_empty_expansion_is_an_error_not_a_silence(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError, match="no .json files"):
+            report.expand_telemetry_paths([str(tmp_path / "empty")])
+        with pytest.raises(ValueError, match="matched no files"):
+            report.expand_telemetry_paths([str(tmp_path / "nope*.json")])
+
+    def test_report_merges_a_directory_of_runs(self, capsys, tmp_path):
+        self._write_runs(tmp_path)
+        capsys.readouterr()
+        assert report.main([str(tmp_path), "--json"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["meta"]["merged_runs"] == 2
+
+
+class TestServeCLI:
+    """python -m repro.tools.serve end to end at quick scale."""
+
+    def test_serve_writes_report_and_telemetry(self, capsys, tmp_path):
+        report_path = tmp_path / "fleet.json"
+        telemetry_path = tmp_path / "serve.json"
+        code = serve.main(
+            [
+                "--scale", "quick",
+                "--payload-bytes", "48",
+                "--cohorts", "solo:n=1,dwell=2.0",
+                "--seed", "1",
+                "--report-out", str(report_path),
+                "--telemetry-out", str(telemetry_path),
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        fleet = json.loads(report_path.read_text())
+        assert fleet["receivers"] == 1
+        (cohort,) = fleet["cohorts"]
+        assert cohort["name"] == "solo"
+        assert cohort["delivered"] == 1
+        assert cohort["delivery_rate"] == 1.0
+        assert cohort["mean_time_to_deliver_s"] is not None
+        assert fleet["renders"] >= 1 and fleet["render_reads"] > fleet["renders"]
+        assert json.loads(out)["delivery_rate"] == 1.0
+        telemetry = report.load_telemetry(telemetry_path)
+        assert telemetry.metrics["serve.cohort.solo.delivered"]["value"] == 1

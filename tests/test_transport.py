@@ -335,8 +335,35 @@ class TestCarousel:
         assert not receiver.receive(build_packet(PacketType.DATA, 1, 0, b"d", 1))
         assert receiver.n_rejected == 1
         assert receiver.decoder is None
-        receiver.receive(carousel.packet(0))
-        assert receiver.decoder is not None
+
+    def test_join_offset_records_first_accepted_symbol(self):
+        carousel = BroadcastCarousel(b"payload body here", symbol_bytes=4)
+        receiver = CarouselReceiver()
+        assert receiver.join_offset is None
+        stream = carousel.stream(start=42)
+        while not receiver.complete:
+            receiver.receive(next(stream))
+        assert receiver.join_offset == 42
+
+    def test_symbols_consumed_counts_distinct_symbols_only(self):
+        carousel = BroadcastCarousel(b"payload body here", symbol_bytes=4)
+        receiver = CarouselReceiver()
+        assert receiver.symbols_consumed == 0
+        receiver.receive(carousel.packet(3))
+        receiver.receive(carousel.packet(3))  # re-aired: accepted, not consumed
+        assert receiver.n_received == 2
+        assert receiver.symbols_consumed == 1
+
+    def test_join_metadata_resets_with_new_session(self):
+        first = BroadcastCarousel(b"old payload!", symbol_bytes=4, session_id=1)
+        second = BroadcastCarousel(b"new payload.", symbol_bytes=4, session_id=2)
+        receiver = CarouselReceiver()
+        receiver.receive(first.packet(9))
+        assert receiver.join_offset == 9
+        receiver.receive(second.packet(0))
+        assert receiver.join_offset == 0
+        assert receiver.symbols_consumed == 1
+        assert receiver.session_id == 2
 
 
 # ----------------------------------------------------------------------
