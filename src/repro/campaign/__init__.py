@@ -1,0 +1,82 @@
+"""Resumable master/worker orchestration for the scenario matrix.
+
+The sweep surface is a dense condition matrix -- parameter x faults x
+heal x camera x workload, the way Revelio and DeepLight (PAPERS.md)
+report results.  ``repro.campaign`` turns that matrix into one
+resumable **campaign**:
+
+* :mod:`~repro.campaign.spec` -- the declarative axis grammar
+  (``parameter=tau:8,12,16|faults=none,drop:p=0.1|heal=on,off``) and its
+  expansion into seed-stamped work units;
+* :mod:`~repro.campaign.units` -- frozen :class:`WorkUnit` payloads and
+  the executor that runs them through ``run_link`` /
+  ``run_transport_link`` / ``run_fleet``;
+* :mod:`~repro.campaign.journal` -- the append-only JSONL transition
+  log that survives ``SIGKILL`` (torn final line tolerated);
+* :mod:`~repro.campaign.queue` -- journal replay into lease-aware queue
+  state (``--resume`` re-leases expired work, keeps recorded results);
+* :mod:`~repro.campaign.master` -- the dispatch loop over
+  :class:`~repro.runtime.engine.ExecutionEngine` workers;
+* :mod:`~repro.campaign.report` -- the exact-merge aggregated report,
+  byte-identical at any worker count and across kill/resume histories.
+
+The CLI lives in :mod:`repro.tools.campaign`
+(``python -m repro.tools.campaign run/resume/status/report``), and
+:mod:`repro.tools.sweep` is a thin single-axis front-end over the same
+machinery.
+"""
+
+from repro.campaign.journal import (
+    JOURNAL_FORMAT,
+    CampaignJournal,
+    CampaignJournalError,
+    JournalContents,
+)
+from repro.campaign.master import (
+    CampaignMaster,
+    CampaignOutcome,
+    CampaignRunStats,
+    journal_status,
+    report_from_journal,
+)
+from repro.campaign.queue import CampaignQueueError, QueueState, UnitState, UnitStatus
+from repro.campaign.report import REPORT_FORMAT, CampaignReport, build_report
+from repro.campaign.spec import (
+    SWEEPABLE,
+    Axis,
+    CampaignSpec,
+    CampaignSpecError,
+    coerce_sweep_values,
+    decode_faults_value,
+    encode_faults_value,
+)
+from repro.campaign.units import UnitResult, WorkUnit, execute_unit
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "REPORT_FORMAT",
+    "SWEEPABLE",
+    "Axis",
+    "CampaignJournal",
+    "CampaignJournalError",
+    "CampaignMaster",
+    "CampaignOutcome",
+    "CampaignQueueError",
+    "CampaignReport",
+    "CampaignRunStats",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "JournalContents",
+    "QueueState",
+    "UnitResult",
+    "UnitState",
+    "UnitStatus",
+    "WorkUnit",
+    "build_report",
+    "coerce_sweep_values",
+    "decode_faults_value",
+    "encode_faults_value",
+    "execute_unit",
+    "journal_status",
+    "report_from_journal",
+]

@@ -1,0 +1,152 @@
+"""The campaign journal: an append-only JSONL log of queue transitions.
+
+One campaign owns one journal file.  Every state transition -- the
+campaign header, master incarnations, ``queued``/``leased``/``done``/
+``failed`` unit records -- is one JSON object on its own line, flushed
+and fsynced before :meth:`CampaignJournal.append` returns.  Nothing is
+ever rewritten, so any crash (including ``SIGKILL``) leaves a valid
+prefix of complete records plus at most one torn final line.
+
+:meth:`CampaignJournal.read` tolerates exactly that shape: a partial
+*final* line is ignored and reported via ``torn_tail`` (the transition
+it was recording simply never happened, and resume re-derives the
+queue state without it).  A malformed line anywhere *before* the end is
+not a crash signature -- it means the file was edited or the storage
+corrupted -- and raises :class:`CampaignJournalError` rather than
+silently dropping history.
+
+Record shapes (the ``event`` field discriminates):
+
+``campaign``
+    The header -- first record of every journal.  Carries ``format``
+    (:data:`JOURNAL_FORMAT`), the spec string, expansion options
+    (``scale``/``seed``/``payload_bytes``/``fault_seed``), queue policy
+    (``lease_timeout_s``/``max_attempts``), the unit count, and the
+    campaign ``fingerprint`` that resume validates.
+``master``
+    A master incarnation starting (fresh or resumed), with its id.
+``queued``
+    One unit entering the queue (``unit`` key + ``index``).
+``leased``
+    A lease grant: ``unit``, the owning incarnation, and the wall-clock
+    ``expires`` time after which the lease is considered dead.
+``done``
+    Terminal: ``unit`` plus the full serialized
+    :meth:`~repro.campaign.units.UnitResult.as_dict` payload.
+``failed``
+    A retryable crash: ``unit``, the ``error`` text, and the attempt
+    number; the unit may be re-leased until ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Journal format tag written into (and checked against) the header.
+JOURNAL_FORMAT = "repro.campaign/1"
+
+#: Record payload: one JSON object per journal line.
+JournalRecord = dict[str, object]
+
+
+class CampaignJournalError(ValueError):
+    """Raised for journals that are corrupt beyond the torn-tail shape."""
+
+
+@dataclass(frozen=True)
+class JournalContents:
+    """Everything :meth:`CampaignJournal.read` recovered from disk."""
+
+    records: list[JournalRecord] = field(default_factory=list)
+    torn_tail: bool = False
+
+    @property
+    def header(self) -> JournalRecord | None:
+        """The campaign header record, if the journal has one."""
+        if self.records and self.records[0].get("event") == "campaign":
+            return self.records[0]
+        return None
+
+
+class CampaignJournal:
+    """One campaign's append-only JSONL transition log.
+
+    The journal is opened, appended, flushed, fsynced, and closed per
+    record: slower than a held handle, but every completed ``append``
+    survives any subsequent crash, and masters/resumes never contend
+    over a shared file position.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @property
+    def exists(self) -> bool:
+        """Whether the journal already holds at least one byte."""
+        try:
+            return self.path.stat().st_size > 0
+        except OSError:
+            return False
+
+    def append(self, record: JournalRecord) -> None:
+        """Durably append one record (canonical JSON, own line)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read(self) -> JournalContents:
+        """Parse the journal, tolerating a crash-torn final line.
+
+        Raises :class:`CampaignJournalError` if the file is missing, the
+        first record is not a :data:`JOURNAL_FORMAT` header, or any line
+        other than the last fails to parse (mid-file corruption is not a
+        crash signature and must not be silently dropped).
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CampaignJournalError(f"cannot read journal {self.path}: {exc}") from exc
+        records: list[JournalRecord] = []
+        torn_tail = False
+        lines = text.split("\n")
+        # A well-formed journal ends with "\n", so split() yields a final
+        # empty string; anything else after the last newline is a torn tail
+        # unless it happens to parse as a complete record (flushed but
+        # killed between write and the trailing-newline -- impossible with
+        # our single-write append, so a bare valid JSON tail still counts).
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines) - 1:
+                    torn_tail = True
+                    continue
+                raise CampaignJournalError(
+                    f"journal {self.path} is corrupt at line {lineno + 1}: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise CampaignJournalError(
+                    f"journal {self.path} line {lineno + 1} is not an object"
+                )
+            records.append(payload)
+        if not records:
+            raise CampaignJournalError(f"journal {self.path} is empty")
+        header = records[0]
+        if header.get("event") != "campaign":
+            raise CampaignJournalError(
+                f"journal {self.path} does not start with a campaign header"
+            )
+        if header.get("format") != JOURNAL_FORMAT:
+            raise CampaignJournalError(
+                f"journal {self.path} has unsupported format "
+                f"{header.get('format')!r} (expected {JOURNAL_FORMAT!r})"
+            )
+        return JournalContents(records=records, torn_tail=torn_tail)

@@ -1,0 +1,347 @@
+"""The campaign master: lease, dispatch, record, aggregate, resume.
+
+:class:`CampaignMaster` drives one campaign to completion.  A fresh run
+journals the header and every ``queued`` unit before dispatching; a
+resumed run (:meth:`CampaignMaster.resume` + ``run(resume=True)``)
+replays the journal instead, validates the expansion fingerprint, keeps
+every durably recorded result, and re-leases only what is still
+outstanding -- expired leases, leases owned by the dead incarnation, and
+retryable failures with attempt budget left.
+
+Workers are the existing :class:`~repro.runtime.engine.ExecutionEngine`
+pool: units cross the process boundary as frozen
+:class:`~repro.campaign.units.WorkUnit` payloads and come back as
+:class:`~repro.campaign.units.UnitResult` rows.  The dispatch wrapper
+(:func:`_execute_unit_task`) converts unexpected worker exceptions into
+retryable failures so one bad unit cannot take down the campaign, while
+deterministic failures (invalid cells) complete normally with
+``ok=False``.
+
+Journal writes happen in the master only -- ``leased`` from the engine's
+``prepare`` hook (right before dispatch), ``done``/``failed`` from
+``on_result`` (the moment a result lands) -- so the journal is
+single-writer even when eight workers are executing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import cast
+
+from repro.campaign.journal import (
+    JOURNAL_FORMAT,
+    CampaignJournal,
+    CampaignJournalError,
+    JournalRecord,
+)
+from repro.campaign.queue import QueueState, UnitStatus
+from repro.campaign.report import CampaignReport, build_report
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.units import UnitResult, WorkUnit, execute_unit
+from repro.runtime.engine import ExecutionEngine
+
+
+@dataclass
+class CampaignRunStats:
+    """What one :meth:`CampaignMaster.run` call did."""
+
+    units_total: int = 0
+    executed: int = 0  # units dispatched by this run
+    reused: int = 0  # results recovered from the journal
+    retries: int = 0  # failed records written by this run
+    exhausted: int = 0  # units that ran out of attempt budget
+    torn_tail: bool = False  # the journal ended in a crash-torn line
+    mode: str = "serial"  # last engine pass mode
+    workers: int = 1
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """A finished :meth:`CampaignMaster.run`: report, results, accounting."""
+
+    report: CampaignReport
+    results: dict[str, UnitResult] = field(default_factory=dict)
+    stats: CampaignRunStats = field(default_factory=CampaignRunStats)
+
+
+def _execute_unit_task(unit: WorkUnit, context: object) -> UnitResult:
+    """The engine work function: run one unit, never let it raise.
+
+    :func:`~repro.campaign.units.execute_unit` already absorbs
+    deterministic failures; anything else escaping here is an unexpected
+    crash and comes back as a retryable failure record instead of
+    poisoning the pool pass.
+    """
+    try:
+        return execute_unit(unit)
+    except Exception as exc:  # the process boundary must not leak raises
+        return UnitResult(
+            index=unit.index,
+            key=unit.key,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            retryable=True,
+        )
+
+
+class CampaignMaster:
+    """Runs one campaign, optionally journaled and resumable.
+
+    Parameters
+    ----------
+    spec:
+        The campaign, as a grammar string or a parsed
+        :class:`~repro.campaign.spec.CampaignSpec`.
+    journal:
+        Where to journal transitions; ``None`` runs in-memory only
+        (no resume, e.g. the sweep front-end).
+    scale, seed, payload_bytes, fault_seed:
+        Expansion options (see :meth:`CampaignSpec.expand`).
+    workers:
+        Engine worker processes (``None`` = auto, ``1`` = serial).
+    lease_timeout_s:
+        How long a lease stays valid; an expired lease is re-runnable.
+    max_attempts:
+        Total tries a retryably-failing unit gets before it is reported
+        as ``failed``.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec | str,
+        *,
+        journal: CampaignJournal | None = None,
+        scale: str = "benchmark",
+        seed: int = 1,
+        payload_bytes: int = 64,
+        fault_seed: int | None = None,
+        workers: int | None = None,
+        lease_timeout_s: float = 600.0,
+        max_attempts: int = 3,
+    ) -> None:
+        self.spec = CampaignSpec.parse(spec) if isinstance(spec, str) else spec
+        self.journal = journal
+        self.scale = scale
+        self.seed = int(seed)
+        self.payload_bytes = int(payload_bytes)
+        self.fault_seed = fault_seed
+        self.workers = workers
+        if lease_timeout_s <= 0.0:
+            raise ValueError(f"lease_timeout_s must be > 0, got {lease_timeout_s}")
+        self.lease_timeout_s = float(lease_timeout_s)
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = int(max_attempts)
+        self.units = self.spec.expand(
+            scale=scale, seed=self.seed, payload_bytes=self.payload_bytes,
+            fault_seed=fault_seed,
+        )
+        self.incarnation = f"{os.getpid():x}.{time.time_ns():x}"
+
+    # ------------------------------------------------------------------
+    # Construction from a journal (the `resume` CLI path)
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls, journal: CampaignJournal, *, workers: int | None = None
+    ) -> "CampaignMaster":
+        """A master reconstructed from a journal's header record."""
+        header = journal.read().header
+        if header is None:
+            raise CampaignJournalError(f"journal {journal.path} has no header")
+        fault_seed = cast("int | None", header.get("fault_seed"))
+        return cls(
+            str(header["spec"]),
+            journal=journal,
+            scale=str(header["scale"]),
+            seed=int(cast(int, header["seed"])),
+            payload_bytes=int(cast(int, header["payload_bytes"])),
+            fault_seed=None if fault_seed is None else int(fault_seed),
+            workers=workers,
+            lease_timeout_s=float(cast(float, header["lease_timeout_s"])),
+            max_attempts=int(cast(int, header["max_attempts"])),
+        )
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def _header_record(self) -> JournalRecord:
+        return {
+            "event": "campaign",
+            "format": JOURNAL_FORMAT,
+            "spec": self.spec.spec(),
+            "scale": self.scale,
+            "seed": self.seed,
+            "payload_bytes": self.payload_bytes,
+            "fault_seed": self.fault_seed,
+            "lease_timeout_s": self.lease_timeout_s,
+            "max_attempts": self.max_attempts,
+            "units": len(self.units),
+            "fingerprint": self.fingerprint,
+        }
+
+    @property
+    def fingerprint(self) -> int:
+        """The expansion digest journals carry and resume validates."""
+        return self.spec.fingerprint(
+            scale=self.scale,
+            seed=self.seed,
+            payload_bytes=self.payload_bytes,
+            fault_seed=self.fault_seed,
+        )
+
+    def _append(self, record: JournalRecord) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _start_fresh(self) -> QueueState:
+        if self.journal is not None and self.journal.exists:
+            raise CampaignJournalError(
+                f"journal {self.journal.path} already exists; "
+                "use resume to continue it"
+            )
+        self._append(self._header_record())
+        for unit in self.units:
+            self._append({"event": "queued", "unit": unit.key, "index": unit.index})
+        self._append({"event": "master", "incarnation": self.incarnation})
+        return QueueState.for_units(self.units)
+
+    def _start_resumed(self, stats: CampaignRunStats) -> QueueState:
+        if self.journal is None:
+            raise CampaignJournalError("resume requires a journal")
+        contents = self.journal.read()
+        header = contents.header
+        if header is None:
+            raise CampaignJournalError(f"journal {self.journal.path} has no header")
+        recorded = int(cast(int, header.get("fingerprint", 0)))
+        if recorded != self.fingerprint:
+            raise CampaignJournalError(
+                f"journal {self.journal.path} was recorded for a different "
+                f"campaign expansion (fingerprint {recorded} != {self.fingerprint}); "
+                "refusing to mix results"
+            )
+        stats.torn_tail = contents.torn_tail
+        queue = QueueState.for_units(self.units)
+        queue.replay(contents.records)
+        stats.reused = sum(
+            1
+            for entry in queue.units.values()
+            if entry.status is UnitStatus.DONE
+        )
+        self._append({"event": "master", "incarnation": self.incarnation})
+        return queue
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False) -> CampaignOutcome:
+        """Drive the campaign until every unit is DONE or out of budget."""
+        stats = CampaignRunStats(
+            units_total=len(self.units),
+            workers=ExecutionEngine(workers=self.workers).workers,
+        )
+        queue = self._start_resumed(stats) if resume else self._start_fresh()
+        by_key = {unit.key: unit for unit in self.units}
+        engine = ExecutionEngine(workers=self.workers)
+
+        while True:
+            ready = queue.runnable(time.time(), self.incarnation, self.max_attempts)
+            if not ready:
+                break
+            batch = [by_key[entry.key] for entry in ready]
+
+            def prepare(_index: int, unit: WorkUnit) -> WorkUnit:
+                expires = time.time() + self.lease_timeout_s
+                self._append(
+                    {
+                        "event": "leased",
+                        "unit": unit.key,
+                        "worker": self.incarnation,
+                        "expires": expires,
+                    }
+                )
+                queue.lease(unit.key, self.incarnation, expires)
+                return unit
+
+            def on_result(_index: int, result: UnitResult) -> None:
+                if result.ok or not result.retryable:
+                    if queue.mark_done(result.key, result):
+                        self._append(
+                            {
+                                "event": "done",
+                                "unit": result.key,
+                                "result": result.as_dict(),
+                            }
+                        )
+                else:
+                    attempts = queue.mark_failed(result.key)
+                    stats.retries += 1
+                    self._append(
+                        {
+                            "event": "failed",
+                            "unit": result.key,
+                            "error": result.error,
+                            "attempt": attempts,
+                        }
+                    )
+
+            engine.map(_execute_unit_task, batch, prepare=prepare, on_result=on_result)
+            stats.executed += len(batch)
+            stats.mode = engine.stats.mode
+
+        results = queue.results()
+        # Units that exhausted their retry budget still belong in the
+        # report -- as `failed` rows, not silent holes.
+        for entry in queue.exhausted(self.max_attempts):
+            stats.exhausted += 1
+            results[entry.key] = UnitResult(
+                index=entry.index,
+                key=entry.key,
+                ok=False,
+                error=f"unit failed {entry.attempts} attempts",
+                retryable=True,
+            )
+        report = build_report(
+            self.spec.spec(), self.scale, self.seed, self.units, results
+        )
+        return CampaignOutcome(report=report, results=results, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Journal-only views (the `status` / `report` CLI paths; no execution)
+# ----------------------------------------------------------------------
+def journal_status(journal: CampaignJournal) -> dict[str, object]:
+    """Replay a journal into a status snapshot without running anything."""
+    contents = journal.read()
+    header = contents.header
+    if header is None:
+        raise CampaignJournalError(f"journal {journal.path} has no header")
+    master = CampaignMaster.resume(journal)
+    queue = QueueState.for_units(master.units)
+    queue.replay(contents.records)
+    return {
+        "spec": header["spec"],
+        "scale": header["scale"],
+        "seed": header["seed"],
+        "units": len(master.units),
+        "counts": queue.counts(),
+        "torn_tail": contents.torn_tail,
+        "complete": queue.complete,
+    }
+
+
+def report_from_journal(journal: CampaignJournal) -> CampaignReport:
+    """The aggregated report of whatever a journal has durably recorded.
+
+    Purely a fold over ``done`` records -- no units execute, so this
+    works on journals of crashed, partial, or finished campaigns alike.
+    """
+    contents = journal.read()
+    master = CampaignMaster.resume(journal)
+    queue = QueueState.for_units(master.units)
+    queue.replay(contents.records)
+    return build_report(
+        master.spec.spec(), master.scale, master.seed, master.units, queue.results()
+    )

@@ -1,0 +1,199 @@
+"""Queue state: the journal replayed into per-unit lifecycle records.
+
+The persistent queue is *derived*, never stored: replaying a journal's
+records through :meth:`QueueState.apply` reconstructs exactly the state
+the dead master had durably recorded, which is what makes ``--resume``
+safe after any crash.  The in-memory mirrors (:meth:`QueueState.lease`,
+:meth:`QueueState.mark_done`, :meth:`QueueState.mark_failed`) keep a
+live master's view in step with what it appends.
+
+Lifecycle::
+
+    QUEUED --lease--> LEASED --done--> DONE        (terminal)
+                         |----failed--> FAILED --lease--> ...
+
+``done`` is terminal and first-wins: if a unit is somehow completed
+twice (a worker finishing just before its lease is declared dead, then
+the re-leased copy finishing too), the first recorded result stands and
+the duplicate is ignored -- so the aggregated report never double-counts
+a unit no matter how messy the crash history was.
+
+A lease is *runnable again* when it has expired (wall clock) or when it
+is owned by a different master incarnation: journals are single-master,
+so a foreign owner is by definition a dead one, and resume does not have
+to wait out its lease timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import cast
+
+from repro.campaign.journal import JournalRecord
+from repro.campaign.units import UnitResult, WorkUnit
+
+
+class UnitStatus(Enum):
+    """Where one unit is in its lifecycle."""
+
+    QUEUED = "queued"
+    LEASED = "leased"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class UnitState:
+    """One unit's current queue entry."""
+
+    key: str
+    index: int
+    status: UnitStatus = UnitStatus.QUEUED
+    attempts: int = 0
+    lease_owner: str | None = None
+    lease_expires_s: float = 0.0
+    result: UnitResult | None = None
+
+    def runnable(self, now: float, owner: str, max_attempts: int) -> bool:
+        """Whether *owner* may (re-)lease this unit at time *now*."""
+        if self.status is UnitStatus.QUEUED:
+            return True
+        if self.status is UnitStatus.FAILED:
+            return self.attempts < max_attempts
+        if self.status is UnitStatus.LEASED:
+            return self.lease_owner != owner or self.lease_expires_s <= now
+        return False  # DONE is terminal
+
+
+class CampaignQueueError(ValueError):
+    """Raised when journal records do not fit the campaign's unit set."""
+
+
+@dataclass
+class QueueState:
+    """Every unit's state, derived from (and mirrored ahead of) the journal."""
+
+    units: dict[str, UnitState] = field(default_factory=dict)
+
+    @staticmethod
+    def for_units(units: tuple[WorkUnit, ...] | list[WorkUnit]) -> "QueueState":
+        """A fresh queue with every unit QUEUED."""
+        return QueueState(
+            units={unit.key: UnitState(key=unit.key, index=unit.index) for unit in units}
+        )
+
+    def _entry(self, record: JournalRecord) -> UnitState:
+        key = str(record.get("unit"))
+        entry = self.units.get(key)
+        if entry is None:
+            raise CampaignQueueError(
+                f"journal references unknown unit {key!r} "
+                "(spec/seed mismatch with the journal header?)"
+            )
+        return entry
+
+    def apply(self, record: JournalRecord) -> None:
+        """Replay one journal record into the state (non-unit events no-op)."""
+        event = record.get("event")
+        if event == "queued":
+            self._entry(record)  # validates the key; QUEUED is the initial state
+        elif event == "leased":
+            entry = self._entry(record)
+            if entry.status is UnitStatus.DONE:
+                return
+            entry.status = UnitStatus.LEASED
+            entry.lease_owner = str(record.get("worker"))
+            entry.lease_expires_s = float(cast(float, record.get("expires", 0.0)))
+        elif event == "done":
+            entry = self._entry(record)
+            if entry.status is UnitStatus.DONE:
+                return  # first result wins; ignore duplicates
+            entry.status = UnitStatus.DONE
+            payload = record.get("result")
+            if not isinstance(payload, dict):
+                raise CampaignQueueError(
+                    f"done record for unit {entry.key!r} has no result payload"
+                )
+            entry.result = UnitResult.from_dict(payload)
+        elif event == "failed":
+            entry = self._entry(record)
+            if entry.status is UnitStatus.DONE:
+                return
+            entry.status = UnitStatus.FAILED
+            entry.attempts = max(entry.attempts + 1, int(cast(int, record.get("attempt", 0))))
+            entry.lease_owner = None
+
+    def replay(self, records: list[JournalRecord]) -> None:
+        """Apply every record in journal order."""
+        for record in records:
+            self.apply(record)
+
+    # ------------------------------------------------------------------
+    # Live-master mirrors (keep in step with journal appends)
+    # ------------------------------------------------------------------
+    def lease(self, key: str, owner: str, expires_s: float) -> None:
+        entry = self.units[key]
+        entry.status = UnitStatus.LEASED
+        entry.lease_owner = owner
+        entry.lease_expires_s = expires_s
+
+    def mark_done(self, key: str, result: UnitResult) -> bool:
+        """Record a completion; False if a prior result already stands."""
+        entry = self.units[key]
+        if entry.status is UnitStatus.DONE:
+            return False
+        entry.status = UnitStatus.DONE
+        entry.result = result
+        return True
+
+    def mark_failed(self, key: str) -> int:
+        """Record a retryable crash; returns the new attempt count."""
+        entry = self.units[key]
+        if entry.status is UnitStatus.DONE:
+            return entry.attempts
+        entry.status = UnitStatus.FAILED
+        entry.attempts += 1
+        entry.lease_owner = None
+        return entry.attempts
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def runnable(self, now: float, owner: str, max_attempts: int) -> list[UnitState]:
+        """Units *owner* should run next, in canonical index order."""
+        ready = [
+            entry
+            for entry in self.units.values()
+            if entry.runnable(now, owner, max_attempts)
+        ]
+        return sorted(ready, key=lambda entry: entry.index)
+
+    def results(self) -> dict[str, UnitResult]:
+        """Every completed unit's standing result, keyed by unit key."""
+        return {
+            key: entry.result
+            for key, entry in self.units.items()
+            if entry.status is UnitStatus.DONE and entry.result is not None
+        }
+
+    def counts(self) -> dict[str, int]:
+        """Units per status (for ``campaign status`` and run summaries)."""
+        out = {status.value: 0 for status in UnitStatus}
+        for entry in self.units.values():
+            out[entry.status.value] += 1
+        return out
+
+    @property
+    def complete(self) -> bool:
+        """Whether every unit has a standing result."""
+        return all(entry.status is UnitStatus.DONE for entry in self.units.values())
+
+    def exhausted(self, max_attempts: int) -> list[UnitState]:
+        """FAILED units that are out of retry budget, in index order."""
+        dead = [
+            entry
+            for entry in self.units.values()
+            if entry.status is UnitStatus.FAILED and entry.attempts >= max_attempts
+        ]
+        return sorted(dead, key=lambda entry: entry.index)

@@ -1,0 +1,173 @@
+"""The aggregated campaign report and its determinism contract.
+
+:func:`build_report` folds the standing (first-recorded) result of every
+unit into one :class:`CampaignReport`:
+
+* **rows** -- one flat record per unit in canonical expansion order:
+  the unit's key, workload, swept parameter assignments, and either its
+  statistics row or its error text;
+* **telemetry** -- every successful unit's :class:`~repro.obs.RunTelemetry`
+  folded through the exact-merge :mod:`repro.obs` registry, plus the
+  campaign's own work-scoped counters (``campaign.units`` /
+  ``campaign.units_ok`` / ``campaign.units_invalid``).
+
+Because the fold is exact (integer adds, max-combines) and each unit's
+result is a pure function of the unit itself, :meth:`CampaignReport.
+metrics_json` and :meth:`CampaignReport.report_json` are byte-identical
+no matter how the campaign was scheduled: one worker or eight, straight
+through or killed and resumed, retries or not.  Spans and per-unit meta
+are deliberately excluded -- they carry wall-clock times and worker
+counts, which legitimately differ between executions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.campaign.units import UnitResult, WorkUnit
+from repro.obs import RunTelemetry
+from repro.obs.metrics import WORK, MetricDict, MetricsRegistry
+from repro.obs.telemetry import TelemetryDict
+
+#: Format tag of :meth:`CampaignReport.as_dict` payloads.
+REPORT_FORMAT = "repro.campaign/1"
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Everything a finished (or partially finished) campaign produced."""
+
+    spec: str
+    scale: str
+    seed: int
+    rows: tuple[dict[str, object], ...] = ()
+    metrics: dict[str, MetricDict] = field(default_factory=dict)
+
+    def telemetry(self) -> RunTelemetry:
+        """The merged campaign telemetry as a :class:`RunTelemetry`."""
+        return RunTelemetry(
+            metrics=dict(self.metrics),
+            meta={"tool": "campaign", "spec": self.spec, "scale": self.scale},
+        )
+
+    def metrics_json(self) -> str:
+        """Canonical JSON of the merged work-scoped metrics.
+
+        The campaign determinism artifact: byte-identical at any worker
+        count and across kill/resume histories of the same campaign.
+        """
+        return self.telemetry().metrics_json()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form (the ``--report-out`` file format)."""
+        return {
+            "format": REPORT_FORMAT,
+            "spec": self.spec,
+            "scale": self.scale,
+            "seed": self.seed,
+            "rows": [dict(row) for row in self.rows],
+            "metrics": {name: dict(self.metrics[name]) for name in sorted(self.metrics)},
+        }
+
+    def report_json(self) -> str:
+        """Canonical JSON of the whole report (rows + metrics)."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def counts(self) -> dict[str, int]:
+        """Rows per status (``ok`` / ``invalid`` / ``failed`` / ``missing``)."""
+        out = {"ok": 0, "invalid": 0, "failed": 0, "missing": 0}
+        for row in self.rows:
+            out[str(row["status"])] += 1
+        return out
+
+    def summary(self) -> str:
+        """A terminal-friendly rollup (the CLI prints this; we never do)."""
+        counts = self.counts()
+        lines = [
+            f"campaign: {self.spec}",
+            f"  scale={self.scale} seed={self.seed} units={len(self.rows)}",
+            "  status: "
+            + " ".join(f"{name}={counts[name]}" for name in ("ok", "invalid", "failed", "missing")),
+        ]
+        for row in self.rows:
+            status = str(row["status"])
+            if status == "ok":
+                stats = row.get("stats")
+                detail = (
+                    " ".join(
+                        f"{name}={float(value):.4g}"
+                        for name, value in sorted(stats.items())
+                    )
+                    if isinstance(stats, dict)
+                    else ""
+                )
+            else:
+                detail = str(row.get("error") or status)
+            lines.append(f"    [{status:>7s}] {row['key']}  {detail}")
+        return "\n".join(lines)
+
+
+def build_report(
+    spec: str,
+    scale: str,
+    seed: int,
+    units: tuple[WorkUnit, ...] | list[WorkUnit],
+    results: dict[str, UnitResult],
+) -> CampaignReport:
+    """Fold per-unit results into the canonical aggregated report.
+
+    *results* maps unit key to the unit's **standing** result (the first
+    one durably recorded).  Units without a result appear as
+    ``status="missing"`` rows, so a partially resumed campaign still
+    reports honestly.
+    """
+    registry = MetricsRegistry()
+    rows: list[dict[str, object]] = []
+    n_ok = 0
+    n_invalid = 0
+    for unit in sorted(units, key=lambda u: u.index):
+        result = results.get(unit.key)
+        row: dict[str, object] = {
+            "unit": unit.index,
+            "key": unit.key,
+            "workload": unit.workload,
+            "params": unit.params(),
+        }
+        if result is None:
+            row["status"] = "missing"
+        elif result.ok:
+            row["status"] = "ok"
+            row["stats"] = dict(result.row)
+            n_ok += 1
+            if result.telemetry is not None:
+                _merge_unit_telemetry(registry, result.telemetry)
+        elif result.retryable:
+            row["status"] = "failed"
+            row["error"] = result.error
+        else:
+            row["status"] = "invalid"
+            row["error"] = result.error
+            n_invalid += 1
+        rows.append(row)
+    registry.counter("campaign.units", scope=WORK).inc(len(rows))
+    registry.counter("campaign.units_ok", scope=WORK).inc(n_ok)
+    registry.counter("campaign.units_invalid", scope=WORK).inc(n_invalid)
+    return CampaignReport(
+        spec=spec,
+        scale=scale,
+        seed=seed,
+        rows=tuple(rows),
+        metrics=registry.as_dict(),
+    )
+
+
+def _merge_unit_telemetry(registry: MetricsRegistry, payload: TelemetryDict) -> None:
+    """Fold one unit's serialized telemetry into the campaign registry.
+
+    Only the metrics participate: spans carry wall-clock times and the
+    unit meta carries worker counts, neither of which belongs in a
+    deterministic aggregate.
+    """
+    run = RunTelemetry.from_dict(payload)
+    registry.merge(run.metrics)

@@ -25,7 +25,16 @@ from repro.checks.engine import FileContext, Finding, Rule
 from repro.checks.rules._ast_utils import enclosing_functions
 
 #: Sub-packages of ``repro`` held to the strict-typing bar.
-TYPED_PACKAGES = ("core", "runtime", "transport", "checks", "faults", "obs", "serve")
+TYPED_PACKAGES = (
+    "core",
+    "runtime",
+    "transport",
+    "checks",
+    "faults",
+    "obs",
+    "serve",
+    "campaign",
+)
 
 #: Dunders that are part of a class's public behaviour contract.
 _CHECKED_DUNDERS = frozenset(

@@ -1,76 +1,33 @@
 """CLI: sweep one InFrame parameter and print its Figure-7 consequences.
 
+A single-axis front-end over :mod:`repro.campaign`: the parameter/values
+pair becomes a one-axis campaign spec, each value one seed-stamped work
+unit executed by the same master/worker machinery as
+``python -m repro.tools.campaign`` (in-memory, no journal).
+
 Example::
 
     python -m repro.tools.sweep --parameter tau --values 8 10 12 14 16
-    python -m repro.tools.sweep --parameter amplitude --values 10 20 30 40 --video video
+    python -m repro.tools.sweep --parameter distance --values 1.0 1.5 2.0
     python -m repro.tools.sweep --parameter tau --values 8 10 12 14 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
 
-from repro.analysis.experiments import ExperimentScale
 from repro.analysis.reporting import format_table
-from repro.core.pipeline import run_link
-from repro.faults import FaultPlan
-from repro.obs import RunTelemetry
-from repro.runtime.engine import ExecutionEngine
-from repro.tools.simulate import (
-    add_fault_arguments,
-    add_telemetry_argument,
-    parse_fault_plan,
-    write_telemetry,
+from repro.campaign import (
+    SWEEPABLE,
+    CampaignMaster,
+    CampaignSpecError,
+    coerce_sweep_values,
+    encode_faults_value,
 )
+from repro.obs import RunTelemetry
+from repro.tools.simulate import add_fault_arguments, add_telemetry_argument, write_telemetry
 
-SWEEPABLE = {
-    "tau": int,
-    "amplitude": float,
-    "pixels_per_block": int,
-    "decision_margin": float,
-}
-
-
-@dataclass(frozen=True)
-class _SweepContext:
-    """Everything one sweep cell needs besides its value."""
-
-    scale: ExperimentScale
-    parameter: str
-    video_name: str
-    seed: int
-    faults: FaultPlan | None = None
-    heal: bool | None = None
-    collect_telemetry: bool = False
-
-
-def _sweep_cell(value, ctx: _SweepContext) -> tuple[list, dict | None]:
-    """One table row (plus the cell's serialized telemetry, when collected);
-    module-level so the engine can dispatch it to workers."""
-    try:
-        config = ctx.scale.config().with_updates(**{ctx.parameter: value})
-    except ValueError as exc:
-        return [value, f"invalid: {exc}", "", ""], None
-    run = run_link(
-        config,
-        ctx.scale.video(ctx.video_name),
-        camera=ctx.scale.camera(),
-        seed=ctx.seed,
-        faults=ctx.faults,
-        heal=ctx.heal,
-        collect_telemetry=ctx.collect_telemetry,
-    )
-    stats = run.stats
-    row = [
-        value,
-        f"{stats.available_gob_ratio * 100:.1f}%",
-        f"{stats.gob_error_rate * 100:.1f}%",
-        f"{stats.throughput_kbps:.2f}",
-    ]
-    telemetry = run.telemetry.as_dict() if run.telemetry is not None else None
-    return row, telemetry
+__all__ = ["SWEEPABLE", "build_parser", "build_spec", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,7 +37,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Sweep one InFrame parameter over the simulated link.",
     )
     parser.add_argument(
-        "--parameter", choices=sorted(SWEEPABLE), required=True, help="config field to sweep"
+        "--parameter", choices=sorted(SWEEPABLE), required=True,
+        help="config/camera field to sweep (seeds = replicate count)",
     )
     parser.add_argument(
         "--values", nargs="+", required=True, help="values to try (type-checked per field)"
@@ -103,42 +61,83 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_spec(
+    parameter: str,
+    values: list[str],
+    *,
+    video: str = "gray",
+    faults: str | None = None,
+    no_heal: bool = False,
+) -> str:
+    """The campaign spec one sweep invocation expands to.
+
+    Raises :class:`~repro.campaign.CampaignSpecError` (listing the
+    sweepable keys) when the values do not fit the parameter -- the
+    parse-time validation the campaign grammar itself applies.
+    """
+    coerced = coerce_sweep_values(parameter, values)
+    csv = ",".join(str(v) if isinstance(v, int) else f"{v:g}" for v in coerced)
+    axes = [f"parameter={parameter}:{csv}", f"video={video}"]
+    if faults:
+        axes.append(f"faults={encode_faults_value(faults)}")
+    if no_heal:
+        axes.append("heal=off")
+    return "|".join(axes)
+
+
+def _format_row(
+    parameter: str, row: dict[str, object]
+) -> list[object]:
+    """One report row rendered as the sweep table's cells."""
+    params = row["params"]
+    assert isinstance(params, dict)
+    # `seeds=1` is the default replicate count and is elided from params.
+    value = SWEEPABLE[parameter](params.get(parameter, 1))
+    if row["status"] != "ok":
+        return [value, f"invalid: {row.get('error')}", "", ""]
+    stats = row["stats"]
+    assert isinstance(stats, dict)
+    return [
+        value,
+        f"{float(stats['available']) * 100:.1f}%",
+        f"{float(stats['error_rate']) * 100:.1f}%",
+        f"{float(stats['throughput_kbps']):.2f}",
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    faults, heal = parse_fault_plan(parser, args)
-    caster = SWEEPABLE[args.parameter]
     try:
-        values = [caster(v) for v in args.values]
-    except ValueError:
-        print(f"error: --values must be {caster.__name__}s for {args.parameter}")
+        spec = build_spec(
+            args.parameter,
+            args.values,
+            video=args.video,
+            faults=args.faults,
+            no_heal=args.no_heal,
+        )
+    except CampaignSpecError as exc:
+        print(f"error: {exc}")
         return 2
 
-    scale = getattr(ExperimentScale, args.scale)()
-    context = _SweepContext(
-        scale=scale,
-        parameter=args.parameter,
-        video_name=args.video,
+    master = CampaignMaster(
+        spec,
+        scale=args.scale,
         seed=args.seed,
-        faults=faults,
-        heal=heal,
-        collect_telemetry=args.telemetry_out is not None,
+        fault_seed=args.fault_seed,
+        workers=args.workers,
     )
-    if args.workers is not None and args.workers > 1:
-        # Each cell is one independent run_link; the engine spreads cells
-        # over processes and falls back to serial if the pool dies.
-        engine = ExecutionEngine(workers=args.workers)
-        cells = engine.map(_sweep_cell, values, context=context)
-    else:
-        cells = [_sweep_cell(value, context) for value in values]
-    rows = [row for row, _ in cells]
+    outcome = master.run()
+    rows = [_format_row(args.parameter, dict(row)) for row in outcome.report.rows]
     if args.telemetry_out is not None:
         merged = RunTelemetry.merge(
             [
-                RunTelemetry.from_dict(payload)
-                for _, payload in cells
-                if payload is not None
+                RunTelemetry.from_dict(result.telemetry)
+                for _, result in sorted(
+                    outcome.results.items(), key=lambda kv: kv[1].index
+                )
+                if result.telemetry is not None
             ]
         )
         write_telemetry(args.telemetry_out, merged)

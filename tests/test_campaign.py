@@ -1,0 +1,423 @@
+"""repro.campaign: spec grammar, journal, queue, master, determinism."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.campaign import (
+    CampaignJournal,
+    CampaignJournalError,
+    CampaignMaster,
+    CampaignQueueError,
+    CampaignSpec,
+    CampaignSpecError,
+    QueueState,
+    UnitResult,
+    UnitStatus,
+    coerce_sweep_values,
+    execute_unit,
+    journal_status,
+    report_from_journal,
+)
+from repro.tools import campaign as campaign_cli
+
+# The shared test campaign: 8 units crossing a swept parameter with a
+# fault plan and both heal settings -- the matrix shape the determinism
+# contract must hold for (faulted units included).
+QSPEC = "parameter=tau:8,12|faults=none,drop:p=0.3|heal=on,off"
+
+
+@pytest.fixture(scope="module")
+def journaled_run(tmp_path_factory):
+    """One journaled serial run of QSPEC: (outcome, journal path)."""
+    path = tmp_path_factory.mktemp("campaign") / "journal.jsonl"
+    master = CampaignMaster(
+        QSPEC, journal=CampaignJournal(path), scale="quick", workers=1
+    )
+    return master.run(), path
+
+
+@pytest.fixture(scope="module")
+def parallel_run():
+    """The same campaign at workers=4, unjournaled."""
+    return CampaignMaster(QSPEC, scale="quick", workers=4).run()
+
+
+class TestCampaignSpec:
+    def test_canonical_order_and_defaults(self):
+        spec = CampaignSpec.parse("heal=on,off|parameter=tau:8,12")
+        assert spec.spec() == (
+            "workload=link|video=gray|parameter=tau:8,12|faults=none|heal=on,off"
+        )
+        assert spec.n_units == 4
+
+    def test_round_trip(self):
+        text = "workload=link|video=gray|parameter=tau:8,12|faults=none|heal=on,off"
+        assert CampaignSpec.parse(text).spec() == text
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(CampaignSpecError, match="duplicate axis"):
+            CampaignSpec.parse("heal=on|heal=off")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown axis"):
+            CampaignSpec.parse("flavor=salty")
+
+    def test_unknown_parameter_lists_sweepable_keys(self):
+        with pytest.raises(CampaignSpecError, match="exposure_s"):
+            CampaignSpec.parse("parameter=nonsense:1,2")
+
+    def test_bad_faults_value_rejected(self):
+        with pytest.raises(CampaignSpecError, match="faults"):
+            CampaignSpec.parse("faults=explode:p=0.1")
+
+    def test_workload_parameters_validated(self):
+        spec = CampaignSpec.parse("workload=transport:mode=arq+rounds=2")
+        assert "transport:mode=arq+rounds=2" in spec.spec()
+        with pytest.raises(CampaignSpecError, match="transport"):
+            CampaignSpec.parse("workload=transport:mode=telepathy")
+        with pytest.raises(CampaignSpecError, match="no parameter"):
+            CampaignSpec.parse("workload=link:n=4")
+
+    def test_expansion_is_deterministic(self):
+        a = CampaignSpec.parse(QSPEC).expand(scale="quick", seed=7)
+        b = CampaignSpec.parse(QSPEC).expand(scale="quick", seed=7)
+        assert a == b
+        assert [u.index for u in a] == list(range(8))
+
+    def test_unit_seed_depends_only_on_key(self):
+        # Adding an axis value must not re-key the units that already existed.
+        small = CampaignSpec.parse("parameter=tau:8|heal=on").expand(seed=7)
+        large = CampaignSpec.parse("parameter=tau:8|heal=on,off").expand(seed=7)
+        by_key = {u.key: u for u in large}
+        assert small[0].seed == by_key[small[0].key].seed
+
+    def test_fingerprint_tracks_expansion_inputs(self):
+        spec = CampaignSpec.parse(QSPEC)
+        assert spec.fingerprint(seed=1) != spec.fingerprint(seed=2)
+        assert spec.fingerprint(seed=1) == spec.fingerprint(seed=1)
+
+    def test_seeds_axis_sets_replicates(self):
+        units = CampaignSpec.parse("parameter=seeds:2").expand(scale="quick")
+        assert units[0].replicates == 2
+
+
+class TestCoerceSweepValues:
+    def test_unknown_key_lists_sweepable(self):
+        with pytest.raises(CampaignSpecError) as excinfo:
+            coerce_sweep_values("nonsense", ["1"])
+        for key in ("tau", "exposure_s", "distance", "seeds"):
+            assert key in str(excinfo.value)
+
+    def test_type_coercion(self):
+        assert coerce_sweep_values("tau", ["8", "12"]) == (8, 12)
+        assert coerce_sweep_values("distance", ["1.5"]) == (1.5,)
+
+    def test_bad_type_reported(self):
+        with pytest.raises(CampaignSpecError, match="must be int"):
+            coerce_sweep_values("tau", ["banana"])
+
+    def test_range_checks(self):
+        with pytest.raises(CampaignSpecError, match=">= 1"):
+            coerce_sweep_values("seeds", ["0"])
+        with pytest.raises(CampaignSpecError, match="> 0"):
+            coerce_sweep_values("distance", ["-1"])
+
+
+class TestJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        assert not journal.exists
+        journal.append({"event": "campaign", "format": "repro.campaign/1"})
+        journal.append({"event": "queued", "unit": "k", "index": 0})
+        contents = journal.read()
+        assert journal.exists
+        assert not contents.torn_tail
+        assert [r["event"] for r in contents.records] == ["campaign", "queued"]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.append({"event": "campaign", "format": "repro.campaign/1"})
+        journal.append({"event": "queued", "unit": "k", "index": 0})
+        text = path.read_text()
+        path.write_text(text + '{"event":"leased","unit":"k"')  # no newline, torn
+        contents = journal.read()
+        assert contents.torn_tail
+        assert [r["event"] for r in contents.records] == ["campaign", "queued"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"event":"campaign","format":"repro.campaign/1"}\n'
+            "{torn mid-file\n"
+            '{"event":"queued","unit":"k","index":0}\n'
+        )
+        with pytest.raises(CampaignJournalError, match="line 2"):
+            CampaignJournal(path).read()
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event":"queued","unit":"k","index":0}\n')
+        with pytest.raises(CampaignJournalError, match="header"):
+            CampaignJournal(path).read()
+
+    def test_empty_journal_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        with pytest.raises(CampaignJournalError, match="empty"):
+            CampaignJournal(path).read()
+
+
+def _queue_for(keys):
+    from repro.campaign.queue import UnitState
+
+    return QueueState(
+        units={key: UnitState(key=key, index=index) for index, key in enumerate(keys)}
+    )
+
+
+class TestQueue:
+    def test_lifecycle_replay(self):
+        state = _queue_for(["a", "b"])
+        state.apply({"event": "leased", "unit": "a", "worker": "m1", "expires": 10.0})
+        result = UnitResult(index=0, key="a", ok=True, row={"x": 1.0})
+        state.apply({"event": "done", "unit": "a", "result": result.as_dict()})
+        assert state.units["a"].status is UnitStatus.DONE
+        assert state.results()["a"].row == {"x": 1.0}
+        assert state.counts() == {"queued": 1, "leased": 0, "done": 1, "failed": 0}
+
+    def test_done_is_first_wins(self):
+        state = _queue_for(["a"])
+        first = UnitResult(index=0, key="a", ok=True, row={"x": 1.0})
+        second = UnitResult(index=0, key="a", ok=True, row={"x": 2.0})
+        state.apply({"event": "done", "unit": "a", "result": first.as_dict()})
+        state.apply({"event": "done", "unit": "a", "result": second.as_dict()})
+        assert state.results()["a"].row == {"x": 1.0}
+
+    def test_lease_expiry_and_foreign_owner(self):
+        state = _queue_for(["a"])
+        state.apply({"event": "leased", "unit": "a", "worker": "dead", "expires": 1e12})
+        # A foreign (dead) incarnation's lease is runnable immediately...
+        assert [e.key for e in state.runnable(0.0, "me", 3)] == ["a"]
+        state.apply({"event": "leased", "unit": "a", "worker": "me", "expires": 100.0})
+        # ...our own live lease is not...
+        assert state.runnable(50.0, "me", 3) == []
+        # ...until it expires.
+        assert [e.key for e in state.runnable(200.0, "me", 3)] == ["a"]
+
+    def test_failed_attempts_budget(self):
+        state = _queue_for(["a"])
+        state.apply({"event": "failed", "unit": "a", "error": "boom", "attempt": 1})
+        assert [e.key for e in state.runnable(0.0, "me", 2)] == ["a"]
+        state.apply({"event": "failed", "unit": "a", "error": "boom", "attempt": 2})
+        assert state.runnable(0.0, "me", 2) == []
+        assert [e.key for e in state.exhausted(2)] == ["a"]
+
+    def test_unknown_unit_rejected(self):
+        state = _queue_for(["a"])
+        with pytest.raises(CampaignQueueError, match="unknown unit"):
+            state.apply({"event": "queued", "unit": "zzz", "index": 9})
+
+
+class TestExecuteUnit:
+    def test_invalid_cell_is_nonretryable(self):
+        unit = CampaignSpec.parse("parameter=tau:11").expand(scale="quick")[0]
+        result = execute_unit(unit)
+        assert not result.ok and not result.retryable
+        assert "tau" in result.error
+
+    def test_result_round_trips_through_json(self):
+        unit = CampaignSpec.parse("parameter=tau:8").expand(scale="quick")[0]
+        result = execute_unit(unit)
+        clone = UnitResult.from_dict(json.loads(json.dumps(result.as_dict())))
+        assert clone == result
+
+
+class TestDeterminism:
+    """The campaign determinism contract (ISSUE acceptance criteria)."""
+
+    def test_workers_do_not_change_the_report(self, journaled_run, parallel_run):
+        serial, _ = journaled_run
+        assert parallel_run.report.metrics_json() == serial.report.metrics_json()
+        assert parallel_run.report.report_json() == serial.report.report_json()
+
+    def test_faulted_units_are_covered(self, journaled_run):
+        outcome, _ = journaled_run
+        faulted = [r for r in outcome.report.rows if "drop" in r["key"]]
+        assert len(faulted) == 4
+        assert all(r["status"] == "ok" for r in faulted)
+
+    def test_campaign_counters_in_metrics(self, journaled_run):
+        outcome, _ = journaled_run
+        metrics = json.loads(outcome.report.metrics_json())
+        assert metrics["campaign.units"]["value"] == 8
+        assert metrics["campaign.units_ok"]["value"] == 8
+
+
+class TestResume:
+    def test_fresh_run_refuses_existing_journal(self, journaled_run):
+        _, path = journaled_run
+        master = CampaignMaster(QSPEC, journal=CampaignJournal(path), scale="quick")
+        with pytest.raises(CampaignJournalError, match="resume"):
+            master.run()
+
+    def test_resume_refuses_foreign_fingerprint(self, journaled_run, tmp_path):
+        _, path = journaled_run
+        copy = tmp_path / "journal.jsonl"
+        shutil.copy(path, copy)
+        master = CampaignMaster(
+            QSPEC,
+            journal=CampaignJournal(copy),
+            scale="quick",
+            seed=99,  # different expansion than the journal records
+        )
+        with pytest.raises(CampaignJournalError, match="fingerprint"):
+            master.run(resume=True)
+
+    def test_truncated_journal_resumes_byte_identical(self, journaled_run, tmp_path):
+        outcome, path = journaled_run
+        lines = path.read_text().splitlines(keepends=True)
+        done = [i for i, line in enumerate(lines) if '"event":"done"' in line]
+        # Keep everything up to (and including) the third completion --
+        # the shape a SIGKILL between appends leaves behind.
+        copy = tmp_path / "journal.jsonl"
+        copy.write_text("".join(lines[: done[2] + 1]))
+        master = CampaignMaster.resume(CampaignJournal(copy), workers=1)
+        resumed = master.run(resume=True)
+        assert resumed.stats.reused == 3
+        assert resumed.stats.executed == 5
+        assert resumed.report.metrics_json() == outcome.report.metrics_json()
+        assert resumed.report.report_json() == outcome.report.report_json()
+
+    def test_torn_final_line_resumes_cleanly(self, journaled_run, tmp_path):
+        """Regression: a crash-torn last record must not poison resume."""
+        outcome, path = journaled_run
+        lines = path.read_text().splitlines(keepends=True)
+        done = [i for i, line in enumerate(lines) if '"event":"done"' in line]
+        kept = lines[: done[1] + 1]
+        torn = lines[done[2]][: len(lines[done[2]]) // 2]  # half a done record
+        copy = tmp_path / "journal.jsonl"
+        copy.write_text("".join(kept) + torn)
+        master = CampaignMaster.resume(CampaignJournal(copy), workers=1)
+        resumed = master.run(resume=True)
+        assert resumed.stats.torn_tail
+        assert resumed.stats.reused == 2  # the torn completion does not count
+        assert resumed.report.metrics_json() == outcome.report.metrics_json()
+        assert resumed.report.report_json() == outcome.report.report_json()
+
+    def test_resume_at_workers_4_matches(self, journaled_run, tmp_path):
+        outcome, path = journaled_run
+        lines = path.read_text().splitlines(keepends=True)
+        done = [i for i, line in enumerate(lines) if '"event":"done"' in line]
+        copy = tmp_path / "journal.jsonl"
+        copy.write_text("".join(lines[: done[3] + 1]))
+        master = CampaignMaster.resume(CampaignJournal(copy), workers=4)
+        resumed = master.run(resume=True)
+        assert resumed.report.metrics_json() == outcome.report.metrics_json()
+        assert resumed.report.report_json() == outcome.report.report_json()
+
+    def test_journal_views(self, journaled_run):
+        outcome, path = journaled_run
+        snapshot = journal_status(CampaignJournal(path))
+        assert snapshot["complete"] is True
+        assert snapshot["counts"]["done"] == 8
+        rebuilt = report_from_journal(CampaignJournal(path))
+        assert rebuilt.report_json() == outcome.report.report_json()
+
+    def test_partial_journal_reports_missing_rows(self, journaled_run, tmp_path):
+        _, path = journaled_run
+        lines = path.read_text().splitlines(keepends=True)
+        done = [i for i, line in enumerate(lines) if '"event":"done"' in line]
+        copy = tmp_path / "journal.jsonl"
+        copy.write_text("".join(lines[: done[0] + 1]))
+        report = report_from_journal(CampaignJournal(copy))
+        counts = report.counts()
+        assert counts["ok"] == 1 and counts["missing"] == 7
+
+
+class TestRetries:
+    def test_transient_crash_is_retried(self, monkeypatch):
+        from repro.campaign import master as master_module
+        from repro.campaign.units import execute_unit as real_execute
+
+        crashed = []
+
+        def flaky(unit):
+            if "tau=12" in unit.key and not crashed:
+                crashed.append(unit.key)
+                raise RuntimeError("simulated worker crash")
+            return real_execute(unit)
+
+        monkeypatch.setattr(master_module, "execute_unit", flaky)
+        outcome = CampaignMaster(
+            "parameter=tau:8,12", scale="quick", workers=1
+        ).run()
+        assert crashed  # the crash happened...
+        assert outcome.stats.retries == 1
+        assert outcome.report.counts()["ok"] == 2  # ...and the retry healed it
+
+    def test_exhausted_budget_reports_failed(self, monkeypatch):
+        from repro.campaign import master as master_module
+        from repro.campaign.units import execute_unit as real_execute
+
+        def doomed(unit):
+            if "tau=12" in unit.key:
+                raise RuntimeError("permanent crash")
+            return real_execute(unit)
+
+        monkeypatch.setattr(master_module, "execute_unit", doomed)
+        outcome = CampaignMaster(
+            "parameter=tau:8,12", scale="quick", workers=1, max_attempts=2
+        ).run()
+        assert outcome.stats.exhausted == 1
+        counts = outcome.report.counts()
+        assert counts["ok"] == 1 and counts["failed"] == 1
+        failed = [r for r in outcome.report.rows if r["status"] == "failed"]
+        assert "attempts" in failed[0]["error"]
+
+
+class TestCampaignCLI:
+    def test_run_status_report(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        report_path = tmp_path / "report.json"
+        code = campaign_cli.main(
+            [
+                "run", "--spec", "parameter=tau:8,11", "--scale", "quick",
+                "--journal", str(journal), "--report-out", str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok=1 invalid=1" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["format"] == "repro.campaign/1"
+        assert campaign_cli.main(["status", "--journal", str(journal)]) == 0
+        assert "complete: True" in capsys.readouterr().out
+        assert campaign_cli.main(["report", "--journal", str(journal), "--json"]) == 0
+        rebuilt = json.loads(capsys.readouterr().out)
+        assert rebuilt["rows"] == payload["rows"]
+
+    def test_bad_spec_exits_2(self, capsys):
+        assert campaign_cli.main(["run", "--spec", "parameter=zzz:1"]) == 2
+        assert "sweepable" in capsys.readouterr().out
+
+    def test_existing_journal_suggests_resume(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        args = ["run", "--spec", "parameter=tau:8", "--scale", "quick",
+                "--journal", str(journal)]
+        assert campaign_cli.main(args) == 0
+        capsys.readouterr()
+        assert campaign_cli.main(args) == 2
+        assert "resume" in capsys.readouterr().out
+
+    def test_resume_completed_campaign_is_a_no_op(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        assert campaign_cli.main(
+            ["run", "--spec", "parameter=tau:8", "--scale", "quick",
+             "--journal", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        assert campaign_cli.main(["resume", "--journal", str(journal)]) == 0
+        assert "ok=1" in capsys.readouterr().out

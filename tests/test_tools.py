@@ -212,6 +212,34 @@ class TestSweepCLI:
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
 
+    def test_distance_is_sweepable(self, capsys):
+        code = sweep.main(
+            ["--parameter", "distance", "--values", "1.0", "2.0", "--scale", "quick"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep of distance" in out
+
+    def test_seed_count_is_sweepable(self, capsys):
+        code = sweep.main(
+            ["--parameter", "seeds", "--values", "1", "2", "--scale", "quick"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep of seeds" in out
+
+    def test_value_error_lists_sweepable_keys(self, capsys):
+        code = sweep.main(["--parameter", "tau", "--values", "banana"])
+        out = capsys.readouterr().out
+        assert code == 2
+        for key in ("exposure_s", "distance", "seeds"):
+            assert key in out
+
+    def test_out_of_range_value_rejected_at_parse_time(self, capsys):
+        code = sweep.main(["--parameter", "distance", "--values", "-1"])
+        assert code == 2
+        assert "must be > 0" in capsys.readouterr().out
+
 
 class TestTelemetryCLI:
     """The --telemetry-out / repro.tools.report loop."""
