@@ -152,7 +152,7 @@ class UnitResult:
         )
 
 
-def execute_unit(unit: WorkUnit) -> UnitResult:
+def execute_unit(unit: WorkUnit) -> UnitResult:  # checks: worker-scope
     """Run one unit through its entry point; never raises for bad cells.
 
     Replicates run at spawn-derived seeds and are pooled by plain means

@@ -12,6 +12,12 @@ suppression pragmas of the form::
 A bare ``ignore`` silences every rule on that line; the bracketed form
 silences only the listed rule ids.  Suppressions are deliberately
 per-line so a waiver cannot outlive the code it excused.
+
+Rules that need more than one node at a time -- the determinism family
+-- ask the context for :attr:`FileContext.analysis`, a lazily built
+:class:`~repro.checks.analysis.ModuleAnalysis` (symbol table, def-use
+chains, intra-module call graph).  Findings produced from a dataflow
+walk carry their source-to-sink path in :attr:`Finding.trace`.
 """
 
 from __future__ import annotations
@@ -21,6 +27,10 @@ import re
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: analysis builds on engine types
+    from repro.checks.analysis import ModuleAnalysis
 
 #: Directory names never scanned, wherever they appear.
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "build", "dist", ".eggs"}
@@ -30,7 +40,14 @@ _PRAGMA_RE = re.compile(r"#\s*checks:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\]
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``trace`` is the dataflow path behind the finding -- human-readable
+    source-to-sink steps a taint rule recorded (``--explain`` prints
+    them; SARIF exports them as a code flow).  It is deliberately *not*
+    part of the fingerprint: a path reroute through a new helper must
+    not churn baselines.
+    """
 
     rule: str
     path: str
@@ -38,6 +55,7 @@ class Finding:
     col: int
     message: str
     severity: str = "error"
+    trace: tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -59,6 +77,20 @@ class FileContext:
         self.tree = tree
         self.lines = source.splitlines()
         self._suppressions: dict[int, frozenset[str] | None] | None = None
+        self._analysis: "ModuleAnalysis | None" = None
+
+    @property
+    def analysis(self) -> "ModuleAnalysis":
+        """The module-level dataflow analysis, built once per file.
+
+        Lazy so the per-node rules pay nothing for it; every dataflow
+        rule on the same file shares one instance.
+        """
+        if self._analysis is None:
+            from repro.checks.analysis import ModuleAnalysis
+
+            self._analysis = ModuleAnalysis(self.tree, self.lines)
+        return self._analysis
 
     @property
     def package_parts(self) -> tuple[str, ...]:
@@ -114,7 +146,12 @@ class Rule:
         yield  # pragma: no cover - makes this a generator for type checkers
 
     def finding(
-        self, context: FileContext, node: ast.AST, message: str, severity: str = "error"
+        self,
+        context: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+        trace: Sequence[str] = (),
     ) -> Finding:
         """Build a :class:`Finding` anchored at *node*."""
         return Finding(
@@ -124,6 +161,7 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
             severity=severity,
+            trace=tuple(trace),
         )
 
 

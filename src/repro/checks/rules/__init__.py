@@ -10,6 +10,12 @@ from __future__ import annotations
 
 from repro.checks.engine import Rule
 from repro.checks.rules.api import PublicApiAnnotationRule
+from repro.checks.rules.determinism import (
+    IterationOrderRule,
+    ScopeCrossingRule,
+    WallClockSinkRule,
+    WorkerRngRule,
+)
 from repro.checks.rules.dtype import Uint8ArithmeticRule, UnclippedUint8CastRule
 from repro.checks.rules.obs import LibraryPrintRule
 from repro.checks.rules.resources import ExecutorRule, SharedMemoryRule
@@ -38,5 +44,9 @@ def all_rules() -> list[Rule]:
         ExecutorRule(),
         PublicApiAnnotationRule(),
         LibraryPrintRule(),
+        WorkerRngRule(),
+        WallClockSinkRule(),
+        IterationOrderRule(),
+        ScopeCrossingRule(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

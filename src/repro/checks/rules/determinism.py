@@ -1,0 +1,489 @@
+"""Determinism rules: statically enforce the bit-identity contract.
+
+Every layer since PR 2 rests on one invariant: results are pure
+functions of unit identity, byte-identical at any worker count.  These
+rules check the three ways code quietly breaks that contract -- RNGs
+that do not derive from spawn-keyed seed material (DET001), wall-clock
+values leaking into canonical outputs (DET002), unordered iteration
+feeding canonical JSON or the journal (DET003) -- plus the obs-scope
+boundary (DET004: exec-scoped metric values folded into work-scoped
+writes).
+
+All four run on the dataflow layer (:mod:`repro.checks.analysis` +
+:mod:`repro.checks.rules.flow`) rather than per-node pattern matches,
+so a taint can thread through local helper functions and every finding
+carries a source-to-sink ``trace`` that ``--explain`` prints.
+
+Escape hatches: ``# checks: exec-scope`` on a ``def`` declares the
+function's values execution-substrate data (outside the contract;
+DET002/003/004 skip its sinks), and the ordinary per-line
+``# checks: ignore[DET00x]`` pragma still works.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.checks.analysis import FunctionInfo, ModuleAnalysis
+from repro.checks.engine import FileContext, Finding, Rule
+from repro.checks.rules._ast_utils import call_name, contains_call_to
+from repro.checks.rules.flow import (
+    DICT_VIEW,
+    EXEC_METRIC,
+    UNORDERED_SET,
+    WALLCLOCK,
+    FlowAnalyzer,
+    iter_own_nodes,
+)
+
+#: Constructors DET001 audits inside worker-executed code.
+_RNG_CONSTRUCTORS = ("default_rng", "Generator")
+
+#: Calls that make a module-level name RNG state for DET001.
+_RNG_STATE_MAKERS = ("default_rng", "Generator", "RandomState")
+
+#: Result-record constructors treated as bit-identity sinks.
+_UNIT_CTORS = ("WorkUnit", "UnitResult")
+
+
+def _is_dumps(call: ast.Call, analysis: ModuleAnalysis) -> bool:
+    """Whether *call* is ``json.dumps``/``json.dump`` (however imported)."""
+    name = call_name(call)
+    if name is None:
+        return False
+    return analysis.resolve_import(name) in ("json.dumps", "json.dump")
+
+
+def _sort_keys_on(call: ast.Call) -> bool:
+    """Whether a dumps call passes a truthy ``sort_keys=``."""
+    return any(
+        kw.arg == "sort_keys"
+        and isinstance(kw.value, ast.Constant)
+        and bool(kw.value.value)
+        for kw in call.keywords
+    )
+
+
+def _resolves_to_dictcomp(expr: ast.expr, fn: FunctionInfo | None) -> bool:
+    """Whether *expr* is (or names) a dict comprehension.
+
+    A ``{k: v for k, v in view}`` handed to ``json.dumps(...,
+    sort_keys=True)`` is order-safe: the comprehension rebuilds a dict
+    and ``sort_keys`` canonicalizes it, so DET003 exempts that shape.
+    """
+    if isinstance(expr, ast.DictComp):
+        return True
+    if isinstance(expr, ast.Name) and fn is not None:
+        return any(
+            isinstance(value, ast.DictComp)
+            for value in fn.assignments.get(expr.id, [])
+        )
+    return False
+
+
+def _journal_done_writes(
+    info: FunctionInfo,
+) -> list[tuple[ast.Call, tuple[ast.expr, ...]]]:
+    """``.append({...\"event\": \"done\"...})`` calls and the record values.
+
+    The dict literal may be inline or bound to a local name first.  Only
+    ``done`` records are bit-identity sinks -- ``leased`` records carry
+    wall-clock lease expiries by design.
+    """
+    out: list[tuple[ast.Call, tuple[ast.expr, ...]]] = []
+    for call in info.calls:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("append", "_append")
+            and call.args
+        ):
+            continue
+        record: ast.expr | None = call.args[0]
+        if isinstance(record, ast.Name):
+            dicts = [
+                value
+                for value in info.assignments.get(record.id, [])
+                if isinstance(value, ast.Dict)
+            ]
+            record = dicts[-1] if dicts else None
+        if not isinstance(record, ast.Dict):
+            continue
+        pairs = list(zip(record.keys, record.values))
+        if not any(
+            isinstance(k, ast.Constant)
+            and k.value == "event"
+            and isinstance(v, ast.Constant)
+            and v.value == "done"
+            for k, v in pairs
+        ):
+            continue
+        values = tuple(
+            v
+            for k, v in pairs
+            if not (isinstance(k, ast.Constant) and k.value == "event")
+        )
+        if values:
+            out.append((call, values))
+    return out
+
+
+@dataclass(frozen=True)
+class _Sink:
+    """One place where tainted data would break the contract."""
+
+    node: ast.AST
+    exprs: tuple[ast.expr, ...]
+    kind: str  # "metric" | "unit" | "journal" | "json"
+    desc: str
+
+
+def _iter_sinks(
+    info: FunctionInfo, analysis: ModuleAnalysis, flow: FlowAnalyzer
+) -> Iterator[_Sink]:
+    """Every bit-identity sink inside one function."""
+    for write in flow.metric_writes(info):
+        if write.scope == "work" and write.values:
+            yield _Sink(
+                node=write.call,
+                exprs=write.values,
+                kind="metric",
+                desc=f"work-scoped metric write .{write.method}()",
+            )
+    for call in info.calls:
+        name = call_name(call)
+        leaf = name.rsplit(".", 1)[-1] if name else ""
+        if leaf in _UNIT_CTORS:
+            exprs = (*call.args, *(kw.value for kw in call.keywords))
+            if exprs:
+                yield _Sink(
+                    node=call, exprs=exprs, kind="unit", desc=f"a {leaf}(...) result"
+                )
+    for call, values in _journal_done_writes(info):
+        yield _Sink(
+            node=call, exprs=values, kind="journal", desc="a journal 'done' record"
+        )
+    if info.name.endswith(("_json", "_jsonl")):
+        inside_returns: set[int] = set()
+        for ret in info.returns:
+            inside_returns.update(id(n) for n in ast.walk(ret))
+            yield _Sink(
+                node=ret,
+                exprs=(ret,),
+                kind="json",
+                desc=f"{info.name}() canonical output",
+            )
+        for call in info.calls:
+            if _is_dumps(call, analysis) and id(call) not in inside_returns and call.args:
+                yield _Sink(
+                    node=call,
+                    exprs=tuple(call.args),
+                    kind="json",
+                    desc=f"{info.name}() canonical output",
+                )
+
+
+class WorkerRngRule(Rule):
+    """DET001: worker-executed RNGs must derive from spawn-keyed seeds."""
+
+    rule_id = "DET001"
+    description = (
+        "RNGs created in worker-executed code must derive from a spawn-keyed "
+        "SeedSequence argument, not module state or fresh entropy"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        analysis = context.analysis
+        workers = analysis.worker_functions()
+        if not workers:
+            return
+        flow = FlowAnalyzer(context)
+        for qualname in sorted(workers):
+            info = analysis.functions[qualname]
+            evidence = workers[qualname]
+            yield from self._check_constructors(context, flow, info, evidence)
+            yield from self._check_module_state(context, analysis, info, evidence)
+
+    def _check_constructors(
+        self,
+        context: FileContext,
+        flow: FlowAnalyzer,
+        info: FunctionInfo,
+        evidence: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        for call in info.calls:
+            name = call_name(call)
+            leaf = name.rsplit(".", 1)[-1] if name else ""
+            if leaf not in _RNG_CONSTRUCTORS:
+                continue
+            seeds = (*call.args, *(kw.value for kw in call.keywords))
+            if not seeds:
+                yield self.finding(
+                    context,
+                    call,
+                    f"{leaf}() with no seed draws fresh OS entropy in "
+                    "worker-executed code; results will differ per process "
+                    "(derive the stream via spawn_rng / a spawn-keyed "
+                    "SeedSequence)",
+                    trace=(
+                        *evidence,
+                        flow.step(call, f"{leaf}() called with no seed argument"),
+                    ),
+                )
+            elif not any(flow.seed_blessed(seed, info) for seed in seeds):
+                yield self.finding(
+                    context,
+                    call,
+                    f"{leaf}() in worker-executed code is seeded from a value "
+                    "that does not derive from a spawn-keyed SeedSequence "
+                    "argument; draws will depend on scheduling, not unit "
+                    "identity",
+                    trace=(
+                        *evidence,
+                        flow.step(
+                            call,
+                            f"seed expression {ast.unparse(call)!r} does not "
+                            "derive from a parameter or spawn-keyed "
+                            "SeedSequence",
+                        ),
+                    ),
+                )
+
+    def _check_module_state(
+        self,
+        context: FileContext,
+        analysis: ModuleAnalysis,
+        info: FunctionInfo,
+        evidence: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        shadowed = set(info.params) | set(info.assignments)
+        seen: set[str] = set()
+        for node in iter_own_nodes(info.node):
+            if not (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id not in shadowed
+                and node.id not in seen
+            ):
+                continue
+            values = analysis.module_assignments.get(node.id, [])
+            if not any(
+                contains_call_to(value, _RNG_STATE_MAKERS) for value in values
+            ):
+                continue
+            seen.add(node.id)
+            yield self.finding(
+                context,
+                node,
+                f"worker-executed code reads module-level RNG {node.id!r}; "
+                "module state is re-created per process, so draws depend on "
+                "work distribution",
+                trace=(
+                    *evidence,
+                    f"{context.relpath}:{node.lineno}: reads module-level "
+                    f"RNG state {node.id!r}",
+                ),
+            )
+
+
+class _TaintSinkRule(Rule):
+    """Shared machinery for DET002/DET004: one taint label into the sinks."""
+
+    label = ""
+
+    def message_for(self, sink: _Sink) -> str:
+        raise NotImplementedError
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        analysis = context.analysis
+        flow = FlowAnalyzer(context)
+        seen: set[tuple[int, int, str]] = set()
+        for info in analysis.functions.values():
+            if "exec-scope" in info.pragmas:
+                continue
+            for sink in _iter_sinks(info, analysis, flow):
+                for expr in sink.exprs:
+                    path = flow.taint(expr, info).get(self.label)
+                    if path is None:
+                        continue
+                    key = (expr.lineno, expr.col_offset, sink.kind)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.finding(
+                        context,
+                        expr,
+                        self.message_for(sink),
+                        trace=(
+                            *path,
+                            flow.step(sink.node, f"flows into {sink.desc}"),
+                        ),
+                    )
+
+
+class WallClockSinkRule(_TaintSinkRule):
+    """DET002: wall-clock values must not reach bit-identity sinks."""
+
+    rule_id = "DET002"
+    description = (
+        "wall-clock reads must not flow into work-scoped metrics, unit "
+        "results, journal done records, or canonical JSON output"
+    )
+    label = WALLCLOCK
+
+    _CONTRACT = {
+        "metric": (
+            "work-scoped metrics must be pure functions of unit identity "
+            "(record timings in an exec-scoped gauge or a span)"
+        ),
+        "unit": "unit results must be byte-identical on every rerun",
+        "journal": "journal 'done' records must be byte-identical on resume",
+        "json": (
+            "canonical JSON output is covered by the bit-identity contract "
+            "(keep timings in exec-scoped telemetry)"
+        ),
+    }
+
+    def message_for(self, sink: _Sink) -> str:
+        return (
+            f"wall-clock value flows into {sink.desc}; "
+            f"{self._CONTRACT[sink.kind]}"
+        )
+
+
+class ScopeCrossingRule(_TaintSinkRule):
+    """DET004: exec-scoped metric values must not cross into work scope."""
+
+    rule_id = "DET004"
+    description = (
+        "exec-scoped registry values must not be folded into work-scoped "
+        "metric writes or other bit-identity sinks"
+    )
+    label = EXEC_METRIC
+
+    def message_for(self, sink: _Sink) -> str:
+        return (
+            f"exec-scoped metric value flows into {sink.desc}; "
+            "execution-substrate numbers are outside the bit-identity "
+            "contract and vary with worker count"
+        )
+
+
+class IterationOrderRule(Rule):
+    """DET003: unordered iteration must not feed canonical output."""
+
+    rule_id = "DET003"
+    description = (
+        "set/dict-view iteration must pass through sorted() before feeding "
+        "canonical JSON or journal writes"
+    )
+
+    _MESSAGES = {
+        UNORDERED_SET: (
+            "set iteration order is arbitrary across processes and feeds "
+            "{dest}; iterate sorted(...) instead"
+        ),
+        DICT_VIEW: (
+            "dict-view iteration feeds {dest} without sorted()/sort_keys; "
+            "insertion order varies with merge/completion order"
+        ),
+    }
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        analysis = context.analysis
+        flow = FlowAnalyzer(context)
+        seen: set[tuple[str, tuple[str, ...]]] = set()
+        for info in analysis.functions.values():
+            if "exec-scope" in info.pragmas:
+                continue
+            yield from self._check_dumps_args(context, analysis, flow, info, seen)
+            if info.name.endswith(("_json", "_jsonl")):
+                yield from self._check_loops(context, flow, info, seen)
+            for call, values in _journal_done_writes(info):
+                for expr in values:
+                    yield from self._emit(
+                        context,
+                        flow,
+                        info,
+                        expr,
+                        seen,
+                        dest="a journal 'done' record",
+                        sink_step=flow.step(call, "written into a journal 'done' record"),
+                    )
+
+    def _check_dumps_args(
+        self,
+        context: FileContext,
+        analysis: ModuleAnalysis,
+        flow: FlowAnalyzer,
+        info: FunctionInfo,
+        seen: set[tuple[str, tuple[str, ...]]],
+    ) -> Iterator[Finding]:
+        for call in info.calls:
+            if not _is_dumps(call, analysis):
+                continue
+            sorts = _sort_keys_on(call)
+            for arg in call.args:
+                exempt = (
+                    (DICT_VIEW,) if sorts and _resolves_to_dictcomp(arg, info) else ()
+                )
+                yield from self._emit(
+                    context,
+                    flow,
+                    info,
+                    arg,
+                    seen,
+                    dest="json.dumps() output",
+                    sink_step=flow.step(call, "serialized by json.dumps()"),
+                    exempt=exempt,
+                )
+
+    def _check_loops(
+        self,
+        context: FileContext,
+        flow: FlowAnalyzer,
+        info: FunctionInfo,
+        seen: set[tuple[str, tuple[str, ...]]],
+    ) -> Iterator[Finding]:
+        for node in iter_own_nodes(info.node):
+            if not isinstance(node, ast.For):
+                continue
+            yield from self._emit(
+                context,
+                flow,
+                info,
+                node.iter,
+                seen,
+                dest=f"{info.name}() canonical output",
+                sink_step=flow.step(
+                    node, f"iterated by a for-loop inside {info.name}()"
+                ),
+            )
+
+    def _emit(
+        self,
+        context: FileContext,
+        flow: FlowAnalyzer,
+        info: FunctionInfo,
+        expr: ast.expr,
+        seen: set[tuple[str, tuple[str, ...]]],
+        dest: str,
+        sink_step: str,
+        exempt: tuple[str, ...] = (),
+    ) -> Iterator[Finding]:
+        taint = flow.taint(expr, info)
+        for label in (UNORDERED_SET, DICT_VIEW):
+            path = taint.get(label)
+            if path is None or label in exempt:
+                continue
+            key = (label, path)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                context,
+                expr,
+                self._MESSAGES[label].format(dest=dest),
+                trace=(*path, sink_step),
+            )

@@ -1,0 +1,481 @@
+"""The taint lattice the determinism rules evaluate expressions against.
+
+A taint is a set of labels attached to an expression, each carrying the
+human-readable path of steps that produced it (the ``--explain`` trace).
+The join of two taints is label-set union -- a tiny powerset lattice, so
+the analysis always terminates and never needs widening.
+
+Labels
+------
+``wallclock``
+    The value derives from a wall-clock read (``time.time`` /
+    ``perf_counter`` / ``datetime.now`` ...).  Legal in exec-scoped
+    spans and timings; illegal in anything the bit-identity contract
+    covers (DET002).
+``unordered-set``
+    The value is (or derives from) a ``set`` / ``frozenset`` -- its
+    iteration order is arbitrary across processes (DET003).
+``dict-view``
+    The value is a ``.keys()`` / ``.values()`` / ``.items()`` view --
+    ordered by insertion, which worker completion order can change
+    (DET003).
+``exec-metric``
+    The value was read out of an exec-scoped metric (``.value`` of a
+    gauge, pool counters); folding it into work-scoped metrics crosses
+    the scope boundary (DET004).
+
+Propagation is conservative-by-default: an expression's taint is the
+join of its children's, with special cases for sources (clock calls,
+set constructors, dict views, exec-metric reads), for sanitizers
+(``sorted`` strips the order labels; ``len``/``min``/``max``/``any``/
+``all`` and comparisons produce order-independent results), and for
+calls to functions defined in the same module, whose *return*
+expressions are evaluated transitively -- that is what lets a taint
+path thread through helper functions.
+
+Instance attributes (``self.x``) are deliberately opaque: taint does
+not survive being stored on an object.  That keeps the lattice cheap
+and false-positive-free; the pragma escape hatch covers the rare
+intentional flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.checks.analysis import FunctionInfo, ModuleAnalysis
+from repro.checks.engine import FileContext
+from repro.checks.rules._ast_utils import call_name, dotted_name
+
+WALLCLOCK = "wallclock"
+UNORDERED_SET = "unordered-set"
+DICT_VIEW = "dict-view"
+EXEC_METRIC = "exec-metric"
+
+#: The order-sensitivity labels (what ``sorted`` sanitizes).
+ORDER_LABELS = frozenset({UNORDERED_SET, DICT_VIEW})
+
+#: label -> source-to-here path steps.
+TaintMap = dict[str, tuple[str, ...]]
+
+#: Fully resolved callables that read the wall clock.
+_WALLCLOCK_FNS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Builtins whose result does not depend on argument iteration order.
+_ORDER_NEUTRAL_CALLS = frozenset({"len", "min", "max", "any", "all", "bool"})
+
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Metric factory methods and the default scope each carries
+#: (mirrors :mod:`repro.obs.metrics`).
+METRIC_FACTORIES = {"counter": "work", "histogram": "work", "gauge": "exec"}
+
+#: Methods that write a value into a metric.
+METRIC_WRITES = frozenset({"inc", "observe", "observe_array", "set"})
+
+#: Attributes that read a value back out of a metric.
+_METRIC_READS = frozenset({"value", "count", "counts", "min", "max"})
+
+#: Maximum interprocedural recursion when following local call returns.
+_MAX_DEPTH = 12
+
+
+def iter_own_nodes(root: ast.AST) -> list[ast.AST]:
+    """Every node under *root* without descending into nested defs."""
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+    return out
+
+
+def metric_scope_of_factory(call: ast.Call) -> str | None:
+    """The scope a metric-factory call registers, or ``None`` if not one.
+
+    Matches ``x.counter(...)`` / ``x.gauge(...)`` / ``x.histogram(...)``
+    and resolves the ``scope=`` keyword (string literal or the
+    ``WORK``/``EXEC`` constants) against each factory's default.
+    """
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    factory = call.func.attr
+    if factory not in METRIC_FACTORIES:
+        return None
+    for kw in call.keywords:
+        if kw.arg != "scope":
+            continue
+        value = kw.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return value.value
+        name = dotted_name(value)
+        if name is not None:
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in ("WORK", "EXEC"):
+                return leaf.lower()
+        return None  # dynamic scope: cannot classify
+    return METRIC_FACTORIES[factory]
+
+
+@dataclass(frozen=True)
+class MetricWrite:
+    """One ``metric.inc/observe/set(...)`` call and the metric's scope."""
+
+    call: ast.Call
+    method: str
+    scope: str
+    values: tuple[ast.expr, ...]
+
+
+class FlowAnalyzer:
+    """Evaluates expression taint over one file's :class:`ModuleAnalysis`."""
+
+    def __init__(self, context: FileContext) -> None:
+        self.context = context
+        self.analysis: ModuleAnalysis = context.analysis
+        self._name_stack: set[tuple[str, str]] = set()
+        self._return_stack: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Step / merge helpers
+    # ------------------------------------------------------------------
+    def step(self, node: ast.AST, text: str) -> str:
+        """One human-readable trace step anchored at *node*."""
+        line = getattr(node, "lineno", 0)
+        return f"{self.context.relpath}:{line}: {text}"
+
+    @staticmethod
+    def _merge(into: TaintMap, other: TaintMap) -> TaintMap:
+        for label, path in other.items():
+            if label not in into:
+                into[label] = path
+        return into
+
+    @staticmethod
+    def _extend(taint: TaintMap, step: str) -> TaintMap:
+        return {label: (*path, step) for label, path in taint.items()}
+
+    @staticmethod
+    def _drop_order(taint: TaintMap) -> TaintMap:
+        return {l: p for l, p in taint.items() if l not in ORDER_LABELS}
+
+    # ------------------------------------------------------------------
+    # Taint evaluation
+    # ------------------------------------------------------------------
+    def taint(
+        self, expr: ast.expr, fn: FunctionInfo | None, depth: int = 0
+    ) -> TaintMap:
+        """The taint labels of *expr* inside function *fn* (or at module level)."""
+        if depth > _MAX_DEPTH:
+            return {}
+        if isinstance(expr, ast.Constant):
+            return {}
+        if isinstance(expr, ast.Name):
+            return self._name_taint(expr, fn, depth)
+        if isinstance(expr, ast.Call):
+            return self._call_taint(expr, fn, depth)
+        if isinstance(expr, ast.Attribute):
+            return self._attribute_taint(expr, fn, depth)
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            # Building a set launders incoming order taint (membership is
+            # order-independent) but the set itself is unordered.
+            out = self._drop_order(self._children_taint(expr, fn, depth))
+            out.setdefault(
+                UNORDERED_SET,
+                (self.step(expr, "set constructed here (iteration order is arbitrary)"),),
+            )
+            return out
+        if isinstance(expr, ast.Compare):
+            # Comparison results (including `x in s`) are single values
+            # independent of iteration order; clock taint still flows.
+            return self._drop_order(self._children_taint(expr, fn, depth))
+        if isinstance(expr, ast.Lambda):
+            return {}
+        return self._children_taint(expr, fn, depth)
+
+    def _children_taint(
+        self, expr: ast.AST, fn: FunctionInfo | None, depth: int
+    ) -> TaintMap:
+        out: TaintMap = {}
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._merge(out, self.taint(child, fn, depth))
+            elif isinstance(child, (ast.comprehension, ast.keyword)):
+                for grand in ast.iter_child_nodes(child):
+                    if isinstance(grand, ast.expr):
+                        self._merge(out, self.taint(grand, fn, depth))
+        return out
+
+    def _name_taint(
+        self, expr: ast.Name, fn: FunctionInfo | None, depth: int
+    ) -> TaintMap:
+        name = expr.id
+        if fn is not None:
+            if name in fn.params:
+                return {}  # threaded in by the caller: trusted boundary
+            assigned = fn.assignments.get(name)
+            if assigned is not None:
+                return self._assigned_taint(fn.qualname, name, assigned, fn, depth)
+        assigned = self.analysis.module_assignments.get(name)
+        if assigned is not None:
+            return self._assigned_taint("<module>", name, assigned, None, depth)
+        return {}
+
+    def _assigned_taint(
+        self,
+        scope: str,
+        name: str,
+        assigned: list[ast.expr],
+        fn: FunctionInfo | None,
+        depth: int,
+    ) -> TaintMap:
+        key = (scope, name)
+        if key in self._name_stack:
+            return {}
+        self._name_stack.add(key)
+        try:
+            out: TaintMap = {}
+            for value in assigned:
+                taint = self.taint(value, fn, depth + 1)
+                if taint:
+                    self._merge(
+                        out,
+                        self._extend(taint, self.step(value, f"assigned to {name!r}")),
+                    )
+            return out
+        finally:
+            self._name_stack.discard(key)
+
+    def _attribute_taint(
+        self, expr: ast.Attribute, fn: FunctionInfo | None, depth: int
+    ) -> TaintMap:
+        out = self.taint(expr.value, fn, depth)
+        if expr.attr in _METRIC_READS:
+            scope = self._metric_scope_of_expr(expr.value, fn)
+            if scope == "exec":
+                out = dict(out)
+                out.setdefault(
+                    EXEC_METRIC,
+                    (
+                        self.step(
+                            expr,
+                            f"reads .{expr.attr} of an exec-scoped metric "
+                            "(execution-substrate number)",
+                        ),
+                    ),
+                )
+        return out
+
+    def _call_taint(
+        self, call: ast.Call, fn: FunctionInfo | None, depth: int
+    ) -> TaintMap:
+        name = call_name(call)
+        resolved = self.analysis.resolve_import(name) if name is not None else None
+        leaf = name.rsplit(".", 1)[-1] if name else ""
+
+        if resolved in _WALLCLOCK_FNS:
+            return {
+                WALLCLOCK: (self.step(call, f"{name}() reads the wall clock"),)
+            }
+        if leaf == "sorted":
+            out: TaintMap = {}
+            for arg in call.args:
+                self._merge(out, self.taint(arg, fn, depth))
+            return self._drop_order(out)
+        if leaf in _ORDER_NEUTRAL_CALLS and isinstance(call.func, ast.Name):
+            out = {}
+            for arg in call.args:
+                self._merge(out, self.taint(arg, fn, depth))
+            return self._drop_order(out)
+        if leaf in ("set", "frozenset") and isinstance(call.func, ast.Name):
+            out = self._drop_order(self._children_taint(call, fn, depth))
+            out.setdefault(
+                UNORDERED_SET,
+                (self.step(call, f"{leaf}() constructed here (iteration order is arbitrary)"),),
+            )
+            return out
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _DICT_VIEW_METHODS
+            and not call.args
+            and not call.keywords
+        ):
+            out = dict(self.taint(call.func.value, fn, depth))
+            out.setdefault(
+                DICT_VIEW,
+                (
+                    self.step(
+                        call,
+                        f".{call.func.attr}() view (insertion order; merge/"
+                        "completion order can reorder it)",
+                    ),
+                ),
+            )
+            return out
+
+        # A call to a function defined in this module: follow its returns.
+        out = {}
+        local = (
+            self.analysis.resolve_function(call.func.id)
+            if isinstance(call.func, ast.Name)
+            else None
+        )
+        if local is not None and local.qualname not in self._return_stack:
+            self._return_stack.add(local.qualname)
+            try:
+                for ret in local.returns:
+                    taint = self.taint(ret, local, depth + 1)
+                    if taint:
+                        self._merge(
+                            out,
+                            self._extend(
+                                taint,
+                                self.step(
+                                    call, f"returned by {local.name}() into this call"
+                                ),
+                            ),
+                        )
+            finally:
+                self._return_stack.discard(local.qualname)
+        # Arguments flow through any call conservatively (helpers that
+        # transform a tainted value still hand back a tainted value).
+        self._merge(out, self._children_taint(call, fn, depth))
+        return out
+
+    # ------------------------------------------------------------------
+    # Metric classification
+    # ------------------------------------------------------------------
+    def _metric_scope_of_expr(
+        self, expr: ast.expr, fn: FunctionInfo | None
+    ) -> str | None:
+        """The registry scope of the metric *expr* evaluates to, if known."""
+        if isinstance(expr, ast.Call):
+            return metric_scope_of_factory(expr)
+        if isinstance(expr, ast.Name):
+            assigned: list[ast.expr] = []
+            if fn is not None:
+                assigned.extend(fn.assignments.get(expr.id, []))
+            if not assigned:
+                assigned.extend(self.analysis.module_assignments.get(expr.id, []))
+            for value in assigned:
+                if isinstance(value, ast.Call):
+                    scope = metric_scope_of_factory(value)
+                    if scope is not None:
+                        return scope
+        return None
+
+    def metric_writes(self, fn: FunctionInfo) -> list[MetricWrite]:
+        """Every classified metric write performed by *fn*."""
+        out: list[MetricWrite] = []
+        for call in fn.calls:
+            if not (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in METRIC_WRITES
+            ):
+                continue
+            scope = self._metric_scope_of_expr(call.func.value, fn)
+            if scope is None:
+                continue
+            values = tuple(call.args) + tuple(kw.value for kw in call.keywords)
+            out.append(
+                MetricWrite(call=call, method=call.func.attr, scope=scope, values=values)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Seed blessing (DET001)
+    # ------------------------------------------------------------------
+    def seed_blessed(self, expr: ast.expr, fn: FunctionInfo | None) -> bool:
+        """Whether a seed expression derives from spawn-keyed material.
+
+        Blessed seeds: a ``SeedSequence(...)`` call carrying a
+        ``spawn_key=`` keyword, a call to ``spawn_rng``, any value
+        derived from a function parameter (the stream was built and
+        threaded in by the parent), or a local helper whose returns are
+        blessed.
+        """
+        return self._blessed(expr, fn, set(), 0)
+
+    def _blessed(
+        self,
+        expr: ast.expr,
+        fn: FunctionInfo | None,
+        visiting: set[tuple[str, str]],
+        depth: int,
+    ) -> bool:
+        if depth > _MAX_DEPTH:
+            return False
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            leaf = name.rsplit(".", 1)[-1] if name else ""
+            if leaf == "SeedSequence" and any(
+                kw.arg == "spawn_key" for kw in expr.keywords
+            ):
+                return True
+            if leaf == "spawn_rng":
+                return True
+            if isinstance(expr.func, ast.Name):
+                local = self.analysis.resolve_function(expr.func.id)
+                if local is not None and local.qualname not in self._return_stack:
+                    self._return_stack.add(local.qualname)
+                    try:
+                        if any(
+                            self._blessed(ret, local, visiting, depth + 1)
+                            for ret in local.returns
+                        ):
+                            return True
+                    finally:
+                        self._return_stack.discard(local.qualname)
+            return any(
+                self._blessed(arg, fn, visiting, depth + 1) for arg in expr.args
+            ) or any(
+                self._blessed(kw.value, fn, visiting, depth + 1)
+                for kw in expr.keywords
+            )
+        if isinstance(expr, ast.Name):
+            if fn is not None:
+                if expr.id in fn.params:
+                    return True
+                key = (fn.qualname, expr.id)
+                if key in visiting:
+                    return False
+                visiting.add(key)
+                try:
+                    return any(
+                        self._blessed(value, fn, visiting, depth + 1)
+                        for value in fn.assignments.get(expr.id, [])
+                    )
+                finally:
+                    visiting.discard(key)
+            return False
+        if isinstance(expr, (ast.Attribute, ast.Subscript, ast.Starred)):
+            return self._blessed(expr.value, fn, visiting, depth + 1)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return any(self._blessed(e, fn, visiting, depth + 1) for e in expr.elts)
+        if isinstance(expr, ast.BinOp):
+            return self._blessed(expr.left, fn, visiting, depth + 1) or self._blessed(
+                expr.right, fn, visiting, depth + 1
+            )
+        return False

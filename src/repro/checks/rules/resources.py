@@ -5,9 +5,12 @@ segments (leaked segments survive the process and fill ``/dev/shm``
 until the machine, not the program, fails) and worker pools (an
 un-shutdown ``ProcessPoolExecutor`` strands child processes).  Each
 creation must have a visible release path: a ``with`` block, a
-``finally`` clause, a matching close/unlink in the same function, or --
-for pool-like classes -- an enclosing class that owns the lifecycle via
-``close``/``shutdown``/``__exit__``/``__del__``.
+``finally`` clause, a matching close/unlink in the same function or any
+local helper it (transitively) calls, or -- for pool-like classes -- an
+enclosing class that owns the lifecycle via
+``close``/``shutdown``/``__exit__``/``__del__``.  The helper-call case
+rides on :meth:`repro.checks.analysis.ModuleAnalysis.transitive_attribute_calls`,
+so extracting a ``_teardown()`` helper no longer trips the rule.
 
 Rules
 -----
@@ -76,7 +79,7 @@ class _ResourcePairingRule(Rule):
         collector = _PathStack(self.create_suffixes)
         collector.visit(context.tree)
         for call, ancestors in collector.hits:
-            if self._managed(call, ancestors):
+            if self._managed(context, call, ancestors):
                 continue
             name = call_name(call) or "resource"
             yield self.finding(
@@ -86,7 +89,9 @@ class _ResourcePairingRule(Rule):
                 f"path; {self.advice}",
             )
 
-    def _managed(self, call: ast.Call, ancestors: list[ast.AST]) -> bool:
+    def _managed(
+        self, context: FileContext, call: ast.Call, ancestors: list[ast.AST]
+    ) -> bool:
         function = None
         for node in reversed(ancestors):
             # Directly under a ``with`` item -> context-managed.
@@ -107,6 +112,16 @@ class _ResourcePairingRule(Rule):
                 function = node
         if function is not None:
             if _attribute_calls(function) & self.release_attrs:
+                return True
+            # Cross-function: a release path counts even when it lives in
+            # a helper the creating function calls (directly or
+            # transitively through other local helpers).
+            info = context.analysis.function_for_node(function)
+            if (
+                info is not None
+                and context.analysis.transitive_attribute_calls(info)
+                & self.release_attrs
+            ):
                 return True
             # Stored on self inside a class that owns the lifecycle.
             enclosing_class = self._enclosing_class(ancestors, function)

@@ -60,14 +60,14 @@ class WorkChunk:
         """The item indices this chunk covers."""
         return range(self.start, self.stop)
 
-    def item_rng(self, item: int) -> np.random.Generator:
+    def item_rng(self, item: int) -> np.random.Generator:  # checks: worker-scope
         """The spawned generator for *item* (must lie inside the chunk)."""
         if item not in self.items:
             raise ValueError(f"item {item} outside chunk [{self.start}, {self.stop})")
         return spawn_rng(self.seed, item)
 
 
-def spawn_rng(seed: int, *key: int) -> np.random.Generator:
+def spawn_rng(seed: int, *key: int) -> np.random.Generator:  # checks: worker-scope
     """A generator on the stream addressed by ``(seed, key)``.
 
     Streams with distinct keys are statistically independent, and the

@@ -6,6 +6,9 @@ Example::
     python -m repro.tools.check --json | jq .new    # machine-readable report
     python -m repro.tools.check --update-baseline   # accept the current findings
     python -m repro.tools.check tests/fixtures/checks/rng_violations.py --no-baseline
+    python -m repro.tools.check --explain DET002    # findings + their taint paths
+    python -m repro.tools.check --changed-only      # only files git says changed
+    python -m repro.tools.check --sarif out.sarif   # SARIF 2.1.0 for CI annotations
 
 Exit status: 0 when no new findings (stale baseline entries still print
 as warnings), 1 when new findings or parse errors exist, 2 on bad usage.
@@ -15,11 +18,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
 from repro.checks import Baseline, Finding, all_rules, find_project_root, run_checks
+from repro.checks.sarif import sarif_dumps
 
 _BASELINE_NAME = "checks-baseline.json"
 
@@ -67,7 +72,82 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print only this rule's findings, each followed by its "
+        "recorded source-to-sink dataflow trace",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="check only files git reports as changed (vs --diff-base); "
+        "falls back to the full tree outside a git repo; implies stale "
+        "baseline entries are ignored (partial scans cannot judge them)",
+    )
+    parser.add_argument(
+        "--diff-base",
+        metavar="REF",
+        default="HEAD",
+        help="git ref (or ref range like origin/main...) the --changed-only "
+        "file set is computed against (default: HEAD)",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        metavar="PATH",
+        default=None,
+        help="also write new findings as a SARIF 2.1.0 report to PATH",
+    )
     return parser
+
+
+def _git_changed_files(root: Path, base: str) -> list[Path] | None:
+    """Python files git reports changed vs *base*, or ``None`` off-repo.
+
+    Covers committed-range changes (``git diff base``), which already
+    include unstaged edits, plus untracked files; a failing git (not a
+    repo, unknown ref) returns ``None`` so the caller can fall back to a
+    full-tree scan rather than silently checking nothing.
+    """
+    commands = (
+        ["git", "-C", str(root), "diff", "--name-only", base, "--"],
+        ["git", "-C", str(root), "ls-files", "--others", "--exclude-standard"],
+    )
+    names: set[str] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, check=False
+            )
+        except OSError:
+            return None
+        if proc.returncode != 0:
+            return None
+        names.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return [
+        root / name
+        for name in sorted(names)
+        if name.endswith(".py") and (root / name).is_file()
+    ]
+
+
+def _scope_changed(changed: list[Path], scan_roots: list[Path]) -> list[Path]:
+    """The subset of *changed* that lies under the requested scan roots.
+
+    Keeps --changed-only from dragging in files a full run would never
+    see (deliberately-violating test fixtures, examples/).
+    """
+    resolved_roots = [p.resolve() for p in scan_roots]
+    kept: list[Path] = []
+    for path in changed:
+        resolved = path.resolve()
+        for scan_root in resolved_roots:
+            if resolved == scan_root or scan_root in resolved.parents:
+                kept.append(path)
+                break
+    return kept
 
 
 def _default_paths(root: Path) -> list[Path]:
@@ -84,6 +164,7 @@ def _finding_payload(finding: Finding, baselined: bool) -> dict[str, object]:
         "severity": finding.severity,
         "message": finding.message,
         "baselined": baselined,
+        "trace": list(finding.trace),
     }
 
 
@@ -108,6 +189,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         root = find_project_root(Path.cwd())
         paths = _default_paths(root)
 
+    partial_scan = False
+    if args.changed_only:
+        changed = _git_changed_files(root, args.diff_base)
+        if changed is None:
+            print(
+                "--changed-only: git unavailable or --diff-base unknown; "
+                "falling back to a full scan",
+                file=sys.stderr,
+            )
+        else:
+            paths = _scope_changed(changed, paths)
+            partial_scan = True
+            if not paths:
+                print("0 changed file(s) under the scan roots: nothing to check")
+                return 0
+
     report = run_checks(paths, rules, root=root)
     findings = report.all_findings
 
@@ -124,7 +221,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     diff = baseline.diff(findings)
-    failed = bool(diff.new) or (args.fail_on_stale and bool(diff.stale))
+    failed = bool(diff.new) or (
+        args.fail_on_stale and not partial_scan and bool(diff.stale)
+    )
+
+    if args.sarif is not None:
+        args.sarif.write_text(sarif_dumps(diff.new, rules), encoding="utf-8")
+
+    if args.explain is not None:
+        matching = [f for f in findings if f.rule == args.explain]
+        for finding in matching:
+            print(finding.format())
+            if finding.trace:
+                for step in finding.trace:
+                    print(f"    {step}")
+            else:
+                print("    (no dataflow trace recorded for this finding)")
+        print(f"{len(matching)} finding(s) for {args.explain}")
+        return 1 if failed else 0
 
     if args.json:
         accepted_ids = {id(f) for f in diff.accepted}
@@ -146,11 +260,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(finding.format())
     for finding in diff.accepted:
         print(f"{finding.format()} (baselined)")
-    for fingerprint in diff.stale:
-        print(f"stale baseline entry (remove it): {fingerprint}", file=sys.stderr)
+    if not partial_scan:
+        for fingerprint in diff.stale:
+            print(
+                f"stale baseline entry (remove it): {fingerprint}", file=sys.stderr
+            )
     summary = (
         f"{report.files_checked} file(s) checked: {len(diff.new)} new, "
-        f"{len(diff.accepted)} baselined, {len(diff.stale)} stale"
+        f"{len(diff.accepted)} baselined, "
+        f"{0 if partial_scan else len(diff.stale)} stale"
     )
     print(summary)
     return 1 if failed else 0

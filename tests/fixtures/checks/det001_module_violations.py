@@ -1,0 +1,23 @@
+"""DET001 fixture: module-level RNG state read from dispatched code.
+
+``simulate`` is discovered as worker-scoped from the ``pool.map``
+dispatch site (no pragma needed); the module-global generator it reads
+is re-created per process, so draws depend on work distribution.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+_SHARED_RNG = np.random.default_rng(7)
+
+
+def simulate(item: int) -> float:
+    return float(_SHARED_RNG.normal() + item)
+
+
+def run(items: list[int]) -> list[float]:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(simulate, items))

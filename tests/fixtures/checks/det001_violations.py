@@ -1,0 +1,26 @@
+"""DET001 fixture: worker-executed RNGs that break seed discipline.
+
+Every function here is marked worker-scope; none of the generators
+derive from a spawn-keyed SeedSequence argument, so each construction
+must be flagged.  (The unseeded case also trips RNG003 -- the two rules
+see different halves of the same bug.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def constant_seed(seed: int) -> float:  # checks: worker-scope
+    rng = np.random.default_rng(12345)
+    return float(rng.normal())
+
+
+def fresh_entropy(seed: int) -> float:  # checks: worker-scope
+    rng = np.random.default_rng()
+    return float(rng.normal())
+
+
+def raw_bitgen(seed: int) -> float:  # checks: worker-scope
+    rng = np.random.Generator(np.random.PCG64(99))
+    return float(rng.normal())

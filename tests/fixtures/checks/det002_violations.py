@@ -1,0 +1,23 @@
+"""DET002 fixture: wall-clock values reaching bit-identity sinks.
+
+A work-scoped counter fed a ``time.time()`` value and a ``*_json``
+canonical output stamped with ``perf_counter`` -- both vary run to run,
+so both must be flagged.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+
+def fold_metrics(registry: Any, frames: int) -> None:
+    decoded = registry.counter("decode.frames")
+    started = time.time()
+    decoded.inc(started)
+
+
+def report_json(results: list[dict[str, float]]) -> str:
+    stamp = time.perf_counter()
+    return json.dumps({"results": results, "generated_at": stamp})

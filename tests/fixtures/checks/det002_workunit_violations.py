@@ -1,0 +1,34 @@
+"""DET002 fixture: a wall-clock read threaded through two helpers.
+
+The taint enters at ``time.perf_counter()`` inside ``_now``, flows back
+through ``_elapsed_since``, and lands in both a journal ``done`` record
+and a ``UnitResult`` -- the inter-procedural case ``--explain DET002``
+must render as a full source-to-sink path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.campaign.units import UnitResult
+
+
+def _now() -> float:
+    return time.perf_counter()
+
+
+def _elapsed_since(start: float) -> float:
+    return _now() - start
+
+
+def finish(index: int, key: str, start: float, journal: Any) -> UnitResult:
+    elapsed = _elapsed_since(start)
+    journal.append({"event": "done", "unit": key, "elapsed_s": elapsed})
+    return UnitResult(
+        index=index,
+        key=key,
+        ok=True,
+        error=None,
+        metrics={"elapsed_s": elapsed},
+    )

@@ -1,0 +1,14 @@
+"""DET003 fixture: set-ordered data written into a journal done record.
+
+``done`` records must be byte-identical on resume; ``list(raised)``
+snapshots a set's arbitrary iteration order into one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def record_done(journal: Any, key: str, flags: dict[str, bool]) -> None:
+    raised = {name for name, value in flags.items() if value}
+    journal.append({"event": "done", "unit": key, "flags": list(raised)})

@@ -1,0 +1,23 @@
+"""DET003 fixture: unordered iteration feeding canonical JSON.
+
+``metrics_json`` serializes a list built from a set (arbitrary order
+across processes); ``summary_json`` iterates a dict view straight into
+its canonical output.  Neither passes through ``sorted``.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def metrics_json(rows: list[dict[str, float]]) -> str:
+    names = {name for row in rows for name in row}
+    ordered = [name for name in names]
+    return json.dumps({"names": ordered})
+
+
+def summary_json(table: dict[str, float]) -> str:
+    lines = []
+    for key, value in table.items():
+        lines.append(f"{key}={value}")
+    return json.dumps(lines)

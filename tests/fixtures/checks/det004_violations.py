@@ -1,0 +1,29 @@
+"""DET004 fixture: exec-scoped metric values crossing into work scope.
+
+Gauges default to exec scope (execution-substrate numbers -- pool
+sizes, shm occupancy); folding their values into a work-scoped counter
+or a ``UnitResult`` makes the "work" output vary with worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.campaign.units import UnitResult
+
+
+def fold(registry: Any) -> None:
+    pool_size = registry.gauge("exec.pool_size")
+    decoded = registry.counter("work.decoded")
+    decoded.inc(pool_size.value)
+
+
+def report(registry: Any, index: int, key: str) -> UnitResult:
+    peak = registry.gauge("exec.shm_peak")
+    return UnitResult(
+        index=index,
+        key=key,
+        ok=True,
+        error=None,
+        metrics={"peak": peak.value},
+    )

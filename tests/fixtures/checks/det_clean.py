@@ -1,0 +1,62 @@
+"""Clean determinism fixture: every sanctioned pattern for DET001-004.
+
+Each function below is the blessed counterpart of a violating fixture:
+spawn-keyed RNG derivation, the ``sorted()`` sanitizer, the canonical
+dict-comprehension + ``sort_keys=True`` shape, exec-to-exec metric
+flow, wall-clock use outside the contract, and the ``exec-scope``
+pragma for deliberately substrate-scoped output.  None of these may
+produce a finding.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.runtime.scheduler import spawn_rng
+
+
+def work(seed: int, item: int) -> float:  # checks: worker-scope
+    rng = spawn_rng(seed, item)
+    return float(rng.normal())
+
+
+def work_explicit(seed: int, item: int) -> float:  # checks: worker-scope
+    rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(item,)))
+    return float(rng.normal())
+
+
+def work_derived(seed: int) -> float:  # checks: worker-scope
+    rng = np.random.default_rng((seed, 0xFEED))
+    return float(rng.normal())
+
+
+def metrics_json(metrics: dict[str, float]) -> str:
+    names = sorted({name for name in metrics})
+    return json.dumps({name: metrics[name] for name in names}, sort_keys=True)
+
+
+def work_json(payloads: dict[str, dict[str, float]]) -> str:
+    work_only = {name: payload for name, payload in payloads.items()}
+    return json.dumps(work_only, sort_keys=True, separators=(",", ":"))
+
+
+def fold_exec(registry: Any, slots: int) -> None:
+    pool = registry.gauge("exec.shm_slots")
+    pool.set(slots)
+    mirror = registry.gauge("exec.shm_slots_copy")
+    mirror.set(pool.value)
+
+
+def measure(loops: int) -> float:
+    start = time.perf_counter()
+    for _ in range(loops):
+        pass
+    return time.perf_counter() - start
+
+
+def timings_json(spans: list[dict[str, float]]) -> str:  # checks: exec-scope
+    return json.dumps({"captured_at": time.time(), "spans": spans})

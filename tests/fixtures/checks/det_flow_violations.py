@@ -1,0 +1,23 @@
+"""DET003 fixture: a dict view threaded through two helper functions.
+
+The view is created in ``_keys_of``, passed back through ``_visible``,
+and only then serialized -- the finding must still anchor at the dumps
+argument with the full inter-procedural trace.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+
+def _keys_of(table: dict[str, float]) -> Iterable[str]:
+    return table.keys()
+
+
+def _visible(table: dict[str, float]) -> Iterable[str]:
+    return _keys_of(table)
+
+
+def layout_json(table: dict[str, float]) -> str:
+    return json.dumps(list(_visible(table)))

@@ -1,0 +1,36 @@
+"""Clean resource fixture: release paths that live in called helpers.
+
+Before the dataflow upgrade RES001/RES002 only looked inside the
+creating function's own body, so extracting a ``_teardown`` helper
+tripped them.  The cross-function closure must now see these releases.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def _teardown(segment: SharedMemory) -> None:
+    segment.close()
+    segment.unlink()
+
+
+def roundtrip(payload: bytes) -> bytes:
+    segment = SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+        return bytes(segment.buf[: len(payload)])
+    finally:
+        _teardown(segment)
+
+
+def _stop(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=True)
+
+
+def run_all(jobs: int) -> int:
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    count = len(list(pool.map(str, range(jobs))))
+    _stop(pool)
+    return count

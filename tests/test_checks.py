@@ -8,12 +8,17 @@ ids, JSON shape, the baseline workflow and inline suppressions.
 
 from __future__ import annotations
 
+import ast
 import json
+import subprocess
+import textwrap
+from collections import Counter
 from pathlib import Path
 
 import pytest
 
 from repro.checks import Baseline, all_rules, find_project_root, run_checks
+from repro.checks.analysis import ModuleAnalysis
 from repro.tools.check import main
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -50,7 +55,15 @@ class TestRuleCatalogue:
 class TestCleanFixtures:
     @pytest.mark.parametrize(
         "name",
-        ["rng_clean.py", "dtype_clean.py", "resources_clean.py", "api_clean.py", "obs_clean.py"],
+        [
+            "rng_clean.py",
+            "dtype_clean.py",
+            "resources_clean.py",
+            "api_clean.py",
+            "obs_clean.py",
+            "det_clean.py",
+            "resources_helper_clean.py",
+        ],
     )
     def test_clean_fixture_has_no_findings(self, capsys, name):
         code, payload = run_cli(capsys, str(FIXTURES / name), "--no-baseline")
@@ -75,6 +88,16 @@ class TestViolatingFixtures:
         "resources_violations.py": {"RES001", "RES002"},
         "api_violations.py": {"API001"},
         "obs_violations.py": {"OBS001"},
+        # DET001's unseeded case is also RNG003: different halves of
+        # the same bug (unreproducible vs schedule-dependent).
+        "det001_violations.py": {"DET001", "RNG003"},
+        "det001_module_violations.py": {"DET001"},
+        "det002_violations.py": {"DET002"},
+        "det002_workunit_violations.py": {"DET002"},
+        "det003_violations.py": {"DET003"},
+        "det003_journal_violations.py": {"DET003"},
+        "det004_violations.py": {"DET004"},
+        "det_flow_violations.py": {"DET003"},
     }
 
     @pytest.mark.parametrize("name", sorted(CASES))
@@ -209,6 +232,222 @@ class TestProjectTree:
             assert finding.path.startswith("tests/fixtures/checks/")
             # Fingerprints are line-free so baselines survive reflows.
             assert finding.fingerprint == f"{finding.rule}::{finding.path}::{finding.message}"
+
+
+class TestLegacyRuleRegression:
+    """The dataflow framework swap must not change the PR 3 rules' output.
+
+    Pins the exact per-rule finding counts on the pre-existing fixture
+    set; any drift means the engine upgrade altered a legacy rule.
+    """
+
+    EXPECTED = {
+        "rng_violations.py": {
+            "API001": 1,
+            "RNG001": 1,
+            "RNG002": 1,
+            "RNG003": 1,
+            "RNG004": 1,
+            "RNG005": 1,
+        },
+        "dtype_violations.py": {"DT001": 1, "DT002": 1},
+        "resources_violations.py": {"RES001": 1, "RES002": 1},
+        "api_violations.py": {"API001": 4},
+        "obs_violations.py": {"OBS001": 2},
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_legacy_fixture_findings_unchanged(self, name):
+        report = run_checks([FIXTURES / name], all_rules(), root=REPO_ROOT)
+        counts = Counter(finding.rule for finding in report.findings)
+        assert dict(counts) == self.EXPECTED[name]
+
+
+class TestModuleAnalysis:
+    def test_worker_discovery_and_import_resolution(self):
+        src = textwrap.dedent(
+            """
+            import time as clock
+            from numpy.random import default_rng as mk
+
+
+            def helper(x):
+                return mk(x)
+
+
+            def entry(task):
+                return helper(task)
+
+
+            def run(pool, items):
+                return pool.map(entry, items)
+            """
+        )
+        analysis = ModuleAnalysis(ast.parse(src), src.splitlines())
+        workers = analysis.worker_functions()
+        assert set(workers) == {"entry", "helper"}
+        assert any("dispatched to pool workers" in step for step in workers["entry"])
+        assert any(
+            "called from worker-scoped entry()" in step for step in workers["helper"]
+        )
+        assert analysis.resolve_import("clock.time") == "time.time"
+        assert analysis.resolve_import("mk") == "numpy.random.default_rng"
+        assert analysis.resolve_import("unknown.thing") == "unknown.thing"
+
+    def test_transitive_attribute_calls_cross_helper(self):
+        src = textwrap.dedent(
+            """
+            def _teardown(seg):
+                seg.close()
+
+
+            def create():
+                seg = open_segment()
+                _teardown(seg)
+            """
+        )
+        analysis = ModuleAnalysis(ast.parse(src), src.splitlines())
+        create = analysis.functions["create"]
+        assert "close" in analysis.transitive_attribute_calls(create)
+
+
+class TestDeterminismDataflow:
+    def test_explain_prints_source_to_sink_path_det001(self, capsys):
+        code = main(
+            [
+                str(FIXTURES / "det001_violations.py"),
+                "--no-baseline",
+                "--explain",
+                "DET001",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "3 finding(s) for DET001" in out
+        assert "worker-scope" in out  # the evidence step
+        assert "seed expression" in out
+
+    def test_explain_prints_interprocedural_path_det002(self, capsys):
+        code = main(
+            [
+                str(FIXTURES / "det002_workunit_violations.py"),
+                "--no-baseline",
+                "--explain",
+                "DET002",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "reads the wall clock" in out
+        assert "returned by _now() into this call" in out
+        assert "returned by _elapsed_since() into this call" in out
+        assert "flows into a UnitResult(...) result" in out
+
+    def test_interprocedural_dict_view_detected(self, capsys):
+        code, payload = run_cli(
+            capsys, str(FIXTURES / "det_flow_violations.py"), "--no-baseline"
+        )
+        assert code == 1
+        assert [f["rule"] for f in payload["findings"]] == ["DET003"]
+
+    def test_json_payload_carries_trace(self, capsys):
+        code, payload = run_cli(
+            capsys, str(FIXTURES / "det002_violations.py"), "--no-baseline"
+        )
+        assert code == 1
+        assert payload["findings"]
+        assert all(f["trace"] for f in payload["findings"])
+
+
+class TestSarifExport:
+    def test_sarif_document_shape(self, tmp_path, capsys):
+        out = tmp_path / "out.sarif"
+        code = main(
+            [
+                str(FIXTURES / "det002_workunit_violations.py"),
+                "--no-baseline",
+                "--sarif",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 1
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-checks"
+        catalogue = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"DET001", "DET002", "DET003", "DET004"} <= catalogue
+        results = run["results"]
+        assert results and all(r["ruleId"] == "DET002" for r in results)
+        locations = results[0]["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert any(
+            "wall clock" in loc["location"]["message"]["text"] for loc in locations
+        )
+
+    def test_sarif_empty_when_clean(self, tmp_path, capsys):
+        out = tmp_path / "clean.sarif"
+        code = main(
+            [str(FIXTURES / "det_clean.py"), "--no-baseline", "--sarif", str(out)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["results"] == []
+
+
+class TestChangedOnly:
+    def _init_repo(self, root: Path) -> None:
+        def git(*argv: str) -> None:
+            subprocess.run(
+                ["git", "-C", str(root), *argv], check=True, capture_output=True
+            )
+
+        (root / "pyproject.toml").write_text("[project]\nname='x'\nversion='0'\n")
+        (root / "clean.py").write_text("def ok() -> int:\n    return 1\n")
+        git("init", "-q")
+        git("add", "-A")
+        git(
+            "-c",
+            "user.email=ci@example.invalid",
+            "-c",
+            "user.name=ci",
+            "commit",
+            "-q",
+            "-m",
+            "seed",
+        )
+
+    def test_changed_only_scans_only_changed_files(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._init_repo(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text((FIXTURES / "dtype_violations.py").read_text())
+        monkeypatch.chdir(tmp_path)
+        code, payload = run_cli(capsys, "--changed-only", "--no-baseline")
+        assert code == 1
+        assert payload["files_checked"] == 1
+        assert {f["path"] for f in payload["findings"]} == {"bad.py"}
+
+    def test_changed_only_with_no_changes_passes(self, tmp_path, capsys, monkeypatch):
+        self._init_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = main(["--changed-only", "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nothing to check" in out
+
+    def test_falls_back_to_full_scan_outside_git(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\nversion='0'\n")
+        (tmp_path / "mod.py").write_text("def ok() -> int:\n    return 1\n")
+        monkeypatch.chdir(tmp_path)
+        code = main(["--changed-only", "--no-baseline", "--json"])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 0
+        assert payload["files_checked"] == 1
+        assert "falling back to a full scan" in captured.err
 
 
 class TestParseErrors:
