@@ -26,6 +26,16 @@ Run as a script::
 or under pytest (quick mode -- this is what CI smoke-runs)::
 
     pytest benchmarks/bench_campaign.py --benchmark-only
+
+``--chaos`` switches to the orchestration chaos harness
+(:func:`repro.campaign.chaos.run_chaos_campaign`): the campaign runs as
+a real subprocess fleet, the harness SIGKILLs one pool worker and
+SIGSTOPs another mid-unit, and the acceptance criteria tighten to (a)
+the recovered ``report_json()`` being byte-identical to the chaos-free
+run and (b) the stalled worker's lease being reclaimed via heartbeat
+staleness strictly before its wall-clock lease timeout::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py --chaos --quick
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ import time
 
 import repro
 from repro.campaign import CampaignJournal, CampaignMaster
+from repro.campaign.chaos import run_chaos_campaign
 
 #: The benchmark campaign: swept parameter x fault plan x heal -- 8 units,
 #: half of them faulted (the determinism claim must include those).
@@ -47,6 +58,9 @@ SPEC = "parameter=tau:8,12|faults=none,drop:p=0.3|heal=on,off"
 KILL_AFTER_DONE = 3
 #: Give the subprocess this long before declaring the poll stuck.
 POLL_TIMEOUT_S = 300.0
+#: The ``--chaos`` schedule: SIGKILL one worker mid-unit, SIGSTOP
+#: another long enough for heartbeat staleness to reclaim its lease.
+CHAOS_SCHEDULE = "kill:unit=1;stall:unit=6,dur=2.0"
 
 
 def _src_path() -> str:
@@ -165,6 +179,91 @@ def measure_kill_resume(
     }
 
 
+def measure_chaos(
+    scale: str = "quick",
+    schedule: str = CHAOS_SCHEDULE,
+    workers: int = 2,
+    workdir: str | None = None,
+) -> dict:
+    """SIGKILL + SIGSTOP real workers mid-campaign; compare the reports.
+
+    When *workdir* is given the journals and reports are left there for
+    inspection (the CI chaos job uploads them as artifacts); otherwise a
+    temporary directory is used and cleaned up.
+    """
+    import contextlib
+    import tempfile
+
+    with contextlib.ExitStack() as stack:
+        if workdir is None:
+            workdir = stack.enter_context(tempfile.TemporaryDirectory())
+        wall0 = time.perf_counter()
+        result = run_chaos_campaign(
+            SPEC, schedule, workdir, scale=scale, workers=workers
+        )
+        elapsed_s = time.perf_counter() - wall0
+    reclaims = [
+        {
+            "unit": r.unit,
+            "fence": r.fence,
+            "margin_s": r.lease_expires_at - r.reclaimed_at,
+            "beat_wall_clock": r.beat_wall_clock,
+        }
+        for r in result.stuck_reclaims
+    ]
+    return {
+        "bench": "campaign-chaos",
+        "spec": SPEC,
+        "scale": scale,
+        "schedule": schedule,
+        "workers": workers,
+        "elapsed_s": elapsed_s,
+        "injected": list(result.injected),
+        "resumes": result.resumes,
+        "exit_codes": list(result.exit_codes),
+        "deaths": result.deaths,
+        "quarantined": result.quarantined,
+        "stuck_reclaims": reclaims,
+        "report_json_identical": result.identical,
+        # Vacuously true when the schedule stalls nobody; with a stall,
+        # the reclaim must beat the wall-clock lease timeout.
+        "stall_reclaimed_before_timeout": (
+            "stall" not in schedule
+            or any(r["beat_wall_clock"] for r in reclaims)
+        ),
+        "summary": result.summary(),
+    }
+
+
+def format_chaos_report(record: dict) -> str:
+    """The human-readable chaos summary printed next to the JSON."""
+    verdict = (
+        "byte-identical" if record["report_json_identical"] else "DIVERGED"
+    )
+    staleness = (
+        "reclaimed before lease timeout"
+        if record["stall_reclaimed_before_timeout"]
+        else "NOT reclaimed before lease timeout"
+    )
+    lines = [
+        f"campaign chaos: {record['schedule']} on {record['spec']}",
+        f"  elapsed            {record['elapsed_s']:8.2f} s  "
+        f"(resumes={record['resumes']}, exit_codes={record['exit_codes']})",
+        f"  worker deaths      {record['deaths']}  "
+        f"(quarantined={record['quarantined']})",
+        f"  stalled lease      {staleness}",
+        f"  report_json        {verdict}",
+    ]
+    for item in record["injected"]:
+        lines.append(f"  injected {item}")
+    for reclaim in record["stuck_reclaims"]:
+        lines.append(
+            f"  reclaimed {reclaim['unit']} (fence {reclaim['fence']}) "
+            f"{reclaim['margin_s']:.1f}s before its lease timeout"
+        )
+    return "\n".join(lines)
+
+
 def format_report(record: dict) -> str:
     """The human-readable table printed next to the JSON."""
     kill = record["kill"]
@@ -212,6 +311,22 @@ def test_campaign_kill_resume(benchmark, emit, results_dir):
         assert record["resume"]["executed"] <= record["units"]
 
 
+def test_campaign_chaos(benchmark, emit, results_dir):
+    from conftest import run_once
+
+    record = run_once(benchmark, lambda: measure_chaos(scale="quick"))
+    emit("bench_campaign_chaos", format_chaos_report(record))
+    with open(os.path.join(results_dir, "bench_campaign_chaos.json"), "w") as f:
+        json.dump(record, f, indent=2)
+    # The supervision acceptance criteria: a campaign whose workers were
+    # SIGKILLed and SIGSTOPed mid-unit aggregates byte-identically, and
+    # the stalled worker's lease is reclaimed via heartbeat staleness
+    # strictly before its wall-clock lease timeout would have fired.
+    assert record["report_json_identical"]
+    assert record["stall_reclaimed_before_timeout"]
+    assert record["deaths"] >= 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -229,9 +344,38 @@ def main(argv: list[str] | None = None) -> int:
         "--kill-after", type=int, default=KILL_AFTER_DONE,
         help="SIGKILL the master once this many units are journaled done",
     )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the orchestration chaos harness instead of kill/resume",
+    )
+    parser.add_argument(
+        "--chaos-schedule", default=CHAOS_SCHEDULE, metavar="SPEC",
+        help="fault schedule for --chaos "
+        "(e.g. 'kill:unit=1;stall:unit=6,dur=2.0')",
+    )
+    parser.add_argument(
+        "--chaos-dir", default=None, metavar="DIR",
+        help="keep the chaos journals/reports here (default: temp dir)",
+    )
     parser.add_argument("--out", default=None, help="write the JSON record here")
     args = parser.parse_args(argv)
     scale = args.scale or ("quick" if args.quick else "benchmark")
+    if args.chaos:
+        record = measure_chaos(
+            scale=scale,
+            schedule=args.chaos_schedule,
+            workers=args.workers or 2,
+            workdir=args.chaos_dir,
+        )
+        print(format_chaos_report(record))
+        if args.out:
+            with open(args.out, "w") as f:
+                json.dump(record, f, indent=2)
+        ok = (
+            record["report_json_identical"]
+            and record["stall_reclaimed_before_timeout"]
+        )
+        return 0 if ok else 1
     record = measure_kill_resume(
         scale=scale,
         workers=args.workers,

@@ -17,6 +17,12 @@ resumable **campaign**:
   state (``--resume`` re-leases expired work, keeps recorded results);
 * :mod:`~repro.campaign.master` -- the dispatch loop over
   :class:`~repro.runtime.engine.ExecutionEngine` workers;
+* :mod:`~repro.campaign.supervise` -- lease heartbeats and the
+  supervisor that extends slow leases and fences/reclaims stuck ones
+  immediately (no wall-timeout wait);
+* :mod:`~repro.campaign.chaos` -- seeded orchestration fault schedules
+  (worker kill/stall, heartbeat drop/delay, journal append tears) and
+  the harness asserting report byte-identity under them;
 * :mod:`~repro.campaign.report` -- the exact-merge aggregated report,
   byte-identical at any worker count and across kill/resume histories.
 
@@ -26,11 +32,18 @@ The CLI lives in :mod:`repro.tools.campaign`
 machinery.
 """
 
+from repro.campaign.chaos import (
+    ChaosSchedule,
+    ChaosScheduleError,
+    parse_chaos,
+    run_chaos_campaign,
+)
 from repro.campaign.journal import (
     JOURNAL_FORMAT,
     CampaignJournal,
     CampaignJournalError,
     JournalContents,
+    compact_journal,
 )
 from repro.campaign.master import (
     CampaignMaster,
@@ -38,6 +51,12 @@ from repro.campaign.master import (
     CampaignRunStats,
     journal_status,
     report_from_journal,
+)
+from repro.campaign.supervise import (
+    LeaseHealth,
+    SupervisePolicy,
+    Supervisor,
+    classify_lease,
 )
 from repro.campaign.queue import CampaignQueueError, QueueState, UnitState, UnitStatus
 from repro.campaign.report import REPORT_FORMAT, CampaignReport, build_report
@@ -53,6 +72,8 @@ from repro.campaign.spec import (
 from repro.campaign.units import UnitResult, WorkUnit, execute_unit
 
 __all__ = [
+    "ChaosSchedule",
+    "ChaosScheduleError",
     "JOURNAL_FORMAT",
     "REPORT_FORMAT",
     "SWEEPABLE",
@@ -67,16 +88,23 @@ __all__ = [
     "CampaignSpec",
     "CampaignSpecError",
     "JournalContents",
+    "LeaseHealth",
     "QueueState",
+    "SupervisePolicy",
+    "Supervisor",
     "UnitResult",
     "UnitState",
     "UnitStatus",
     "WorkUnit",
     "build_report",
+    "classify_lease",
     "coerce_sweep_values",
+    "compact_journal",
     "decode_faults_value",
     "encode_faults_value",
     "execute_unit",
     "journal_status",
+    "parse_chaos",
     "report_from_journal",
+    "run_chaos_campaign",
 ]

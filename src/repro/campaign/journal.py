@@ -2,18 +2,36 @@
 
 One campaign owns one journal file.  Every state transition -- the
 campaign header, master incarnations, ``queued``/``leased``/``done``/
-``failed`` unit records -- is one JSON object on its own line, flushed
-and fsynced before :meth:`CampaignJournal.append` returns.  Nothing is
-ever rewritten, so any crash (including ``SIGKILL``) leaves a valid
-prefix of complete records plus at most one torn final line.
+``failed``/``reclaimed``/``quarantined``/``drained`` unit records -- is
+one JSON object on its own line, flushed and fsynced before
+:meth:`CampaignJournal.append` returns.  Nothing is ever rewritten, so
+any crash (including ``SIGKILL``) leaves a valid prefix of complete
+records plus at most one torn final line.
 
-:meth:`CampaignJournal.read` tolerates exactly that shape: a partial
-*final* line is ignored and reported via ``torn_tail`` (the transition
-it was recording simply never happened, and resume re-derives the
-queue state without it).  A malformed line anywhere *before* the end is
-not a crash signature -- it means the file was edited or the storage
-corrupted -- and raises :class:`CampaignJournalError` rather than
-silently dropping history.
+Two writer roles share the file.  The **master** is the only writer of
+state transitions; **workers** additionally append ``heartbeat`` records
+mid-unit (advisory liveness, never a state transition).  Both append
+whole lines with a single ``write`` on an append-mode handle, so lines
+never interleave -- but a worker dying mid-append can leave a partial
+*heartbeat* line that later master appends then follow.  That is why the
+torn-line policy is record-aware:
+
+* a torn **final** line is the primary legal crash signature and is
+  ignored (``torn_tail``);
+* a torn **heartbeat** line mid-file (identified by its ``{"event":
+  "heartbeat"`` prefix) is skipped with a warning -- heartbeats are
+  append-frequency hot and advisory, losing one is harmless.  If a
+  complete record was appended onto the same line (the dying worker
+  never wrote its newline), the embedded record is salvaged;
+* a torn **master** record mid-file is legal exactly when everything
+  after it is worker output: the master died mid-append and its
+  orphaned workers kept heartbeating.  Requires every later record
+  (including one salvaged off the torn line itself) to be a
+  ``heartbeat``; counts as ``torn_tail`` because the interrupted state
+  transition was lost;
+* any other malformed mid-file line is not a crash signature -- it means
+  the file was edited or the storage corrupted -- and raises
+  :class:`CampaignJournalError` rather than silently dropping history.
 
 Record shapes (the ``event`` field discriminates):
 
@@ -28,14 +46,42 @@ Record shapes (the ``event`` field discriminates):
 ``queued``
     One unit entering the queue (``unit`` key + ``index``).
 ``leased``
-    A lease grant: ``unit``, the owning incarnation, and the wall-clock
-    ``expires`` time after which the lease is considered dead.
+    A lease grant: ``unit``, the owning incarnation, the wall-clock
+    ``granted``/``expires`` times, and the lease's ``fence`` token (a
+    per-unit monotonic integer; see :mod:`repro.campaign.queue`).
+``heartbeat``
+    Worker liveness mid-unit: ``unit``, ``index``, ``fence``, a
+    per-lease ``seq`` number, the owning ``worker`` incarnation, the
+    emitting ``pid``, and the wall-clock ``t``.
+``extended``
+    The supervisor extending a slow-but-heartbeating lease: ``unit``,
+    ``fence``, the new ``expires``, and the ``extension`` ordinal.
+``reclaimed``
+    The supervisor fencing a lease: ``unit``, the revoked ``fence``,
+    the ``reason``, and wall ``t``.  Reasons: ``stuck`` (heartbeat
+    went stale) and ``expired`` (wall-clock timeout) count toward
+    quarantine; ``unstarted`` (never heartbeated -- the worker slot,
+    not the unit, is suspect), ``takeover`` (lease held by a dead
+    incarnation at resume), and ``drain`` (operator SIGTERM) do not.
+    Late ``done``/``failed`` records carrying a revoked fence are
+    rejected deterministically on replay.
 ``done``
     Terminal: ``unit`` plus the full serialized
-    :meth:`~repro.campaign.units.UnitResult.as_dict` payload.
+    :meth:`~repro.campaign.units.UnitResult.as_dict` payload, and the
+    completing lease's ``fence``.
 ``failed``
-    A retryable crash: ``unit``, the ``error`` text, and the attempt
-    number; the unit may be re-leased until ``max_attempts``.
+    A retryable failure: ``unit``, the ``error`` text, the lease
+    ``fence``, and its ``kind`` -- ``crash`` (an exception inside the
+    worker, counted as ``attempt``) or ``died`` (the worker process was
+    lost mid-unit, counted as ``death``).
+``quarantined``
+    Terminal: the unit was reclaimed or lost its worker too many times
+    and is poisoned -- ``unit``, the ``reclaims``/``deaths`` counts at
+    quarantine time, and the ``error`` text reported in its row.
+``drained``
+    A master stopped cleanly on SIGTERM: ``incarnation`` plus how many
+    units were still ``outstanding``.  Resume needs no replay guesswork
+    past this marker -- every in-flight lease was reclaimed first.
 """
 
 from __future__ import annotations
@@ -44,12 +90,27 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 #: Journal format tag written into (and checked against) the header.
 JOURNAL_FORMAT = "repro.campaign/1"
 
 #: Record payload: one JSON object per journal line.
 JournalRecord = dict[str, object]
+
+#: Canonical serialized prefix of heartbeat records (``sort_keys`` puts
+#: ``event`` first), used to recognize torn mid-file heartbeat lines.
+_HEARTBEAT_PREFIX = '{"event":"heartbeat"'
+
+#: Record kinds that survive :func:`compact_journal` (terminal states
+#: plus the retry accounting still needed to resume).
+TERMINAL_EVENTS = ("done", "failed", "quarantined")
+
+#: Optional hook run on the serialized line before it is written; chaos
+#: injection uses it to tear an append mid-line (see
+#: :mod:`repro.campaign.chaos`).  Returning ``None`` writes the line
+#: unchanged; returning a string writes that instead.
+AppendTamper = Callable[[JournalRecord, str], "str | None"]
 
 
 class CampaignJournalError(ValueError):
@@ -62,6 +123,7 @@ class JournalContents:
 
     records: list[JournalRecord] = field(default_factory=list)
     torn_tail: bool = False
+    warnings: tuple[str, ...] = ()
 
     @property
     def header(self) -> JournalRecord | None:
@@ -71,17 +133,95 @@ class JournalContents:
         return None
 
 
+def salvage_torn_line(line: str) -> tuple[JournalRecord | None, str | None]:
+    """Recover what a torn mid-file line allows: ``(record, warning)``.
+
+    Only torn *heartbeat* lines are recoverable -- they are advisory and
+    append-frequency hot, so losing one is harmless.  If a complete
+    record was appended onto the torn heartbeat (the dying writer never
+    reached its newline), the embedded record is salvaged; otherwise the
+    line is skipped.  Lines that are not torn heartbeats return
+    ``(None, None)``: the caller must treat them as corruption.
+    """
+    if not line.startswith(_HEARTBEAT_PREFIX):
+        return None, None
+    # A master append concatenated onto the torn heartbeat shows up as a
+    # second record start mid-line; the *last* one is the newest append
+    # and the only candidate for a complete record.
+    start = line.rfind('{"event":', 1)
+    if start > 0:
+        try:
+            payload = json.loads(line[start:])
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict):
+            return payload, (
+                "torn heartbeat line salvaged: recovered a complete "
+                f"{payload.get('event')!r} record appended onto it"
+            )
+    return None, "torn heartbeat line skipped (advisory record, safe to drop)"
+
+
+def _salvage_torn_master_line(
+    line: str, later: list[JournalRecord | None]
+) -> tuple[JournalRecord | None, str | None, bool]:
+    """Judge a torn non-heartbeat mid-file line: ``(record, warning, crash)``.
+
+    Only the master writes state transitions, so a torn master record
+    can sit mid-file for exactly one reason: the master died mid-append
+    and its orphaned pool workers kept heartbeating.  That is a crash
+    signature iff everything between the tear and the next ``master``
+    record (a new incarnation resuming -- always the first thing a
+    resumed master appends) is worker output: a complete heartbeat
+    concatenated onto the torn line (salvaged), and nothing but
+    heartbeats on the following lines.  Anything else directly after the
+    tear means the dead master somehow kept writing, which is not a
+    crash shape: ``(None, None, False)`` and the caller must treat it as
+    corruption.
+    """
+    if not line.startswith('{"event":'):
+        return None, None, False
+    embedded: JournalRecord | None = None
+    start = line.rfind('{"event":', 1)
+    if start > 0:
+        try:
+            payload = json.loads(line[start:])
+        except json.JSONDecodeError:
+            return None, None, False
+        if not isinstance(payload, dict) or payload.get("event") != "heartbeat":
+            return None, None, False
+        embedded = payload
+    for record in later:
+        if record is None:
+            continue  # a later torn line is judged on its own
+        event = record.get("event")
+        if event == "master":
+            break  # a new incarnation took over; anything after is legal
+        if event != "heartbeat":
+            return None, None, False
+    warning = (
+        "torn master append dropped (master died mid-append; only worker "
+        "heartbeats follow)"
+    )
+    if embedded is not None:
+        warning += "; recovered the heartbeat appended onto it"
+    return embedded, warning, True
+
+
 class CampaignJournal:
     """One campaign's append-only JSONL transition log.
 
     The journal is opened, appended, flushed, fsynced, and closed per
     record: slower than a held handle, but every completed ``append``
-    survives any subsequent crash, and masters/resumes never contend
-    over a shared file position.
+    survives any subsequent crash, appends from different processes
+    never contend over a shared file position, and each line lands with
+    a single append-mode ``write`` so concurrent writers cannot
+    interleave mid-line.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, tamper: AppendTamper | None = None) -> None:
         self.path = Path(path)
+        self.tamper = tamper
 
     @property
     def exists(self) -> bool:
@@ -94,6 +234,10 @@ class CampaignJournal:
     def append(self, record: JournalRecord) -> None:
         """Durably append one record (canonical JSON, own line)."""
         line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        if self.tamper is not None:
+            tampered = self.tamper(record, line)
+            if tampered is not None:
+                line = tampered
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line)
@@ -101,18 +245,19 @@ class CampaignJournal:
             os.fsync(handle.fileno())
 
     def read(self) -> JournalContents:
-        """Parse the journal, tolerating a crash-torn final line.
+        """Parse the journal, tolerating the legal torn-line shapes.
 
         Raises :class:`CampaignJournalError` if the file is missing, the
         first record is not a :data:`JOURNAL_FORMAT` header, or any line
-        other than the last fails to parse (mid-file corruption is not a
-        crash signature and must not be silently dropped).
+        fails to parse without matching one of the crash signatures
+        documented in the module docstring (mid-file corruption of state
+        transitions must not be silently dropped).
         """
         try:
             text = self.path.read_text(encoding="utf-8")
         except OSError as exc:
             raise CampaignJournalError(f"cannot read journal {self.path}: {exc}") from exc
-        records: list[JournalRecord] = []
+        warnings: list[str] = []
         torn_tail = False
         lines = text.split("\n")
         # A well-formed journal ends with "\n", so split() yields a final
@@ -120,23 +265,45 @@ class CampaignJournal:
         # unless it happens to parse as a complete record (flushed but
         # killed between write and the trailing-newline -- impossible with
         # our single-write append, so a bare valid JSON tail still counts).
+        parsed: list[tuple[int, str, JournalRecord | None]] = []
         for lineno, line in enumerate(lines):
             if not line.strip():
                 continue
+            payload: JournalRecord | None
             try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if lineno == len(lines) - 1:
-                    torn_tail = True
-                    continue
-                raise CampaignJournalError(
-                    f"journal {self.path} is corrupt at line {lineno + 1}: {exc}"
-                ) from exc
-            if not isinstance(payload, dict):
-                raise CampaignJournalError(
-                    f"journal {self.path} line {lineno + 1} is not an object"
+                loaded = json.loads(line)
+            except json.JSONDecodeError:
+                payload = None
+            else:
+                if not isinstance(loaded, dict):
+                    raise CampaignJournalError(
+                        f"journal {self.path} line {lineno + 1} is not an object"
+                    )
+                payload = loaded
+            parsed.append((lineno, line, payload))
+        records: list[JournalRecord] = []
+        for pos, (lineno, line, payload) in enumerate(parsed):
+            if payload is not None:
+                records.append(payload)
+                continue
+            if lineno == len(lines) - 1:
+                torn_tail = True
+                continue
+            salvaged, warning = salvage_torn_line(line)
+            if warning is None:
+                salvaged, warning, crash = _salvage_torn_master_line(
+                    line, [p for _, _, p in parsed[pos + 1 :]]
                 )
-            records.append(payload)
+                if crash:
+                    torn_tail = True
+            if warning is None:
+                raise CampaignJournalError(
+                    f"journal {self.path} is corrupt at line {lineno + 1}: "
+                    "not valid JSON and not a recognized crash signature"
+                )
+            warnings.append(f"line {lineno + 1}: {warning}")
+            if salvaged is not None:
+                records.append(salvaged)
         if not records:
             raise CampaignJournalError(f"journal {self.path} is empty")
         header = records[0]
@@ -149,4 +316,87 @@ class CampaignJournal:
                 f"journal {self.path} has unsupported format "
                 f"{header.get('format')!r} (expected {JOURNAL_FORMAT!r})"
             )
-        return JournalContents(records=records, torn_tail=torn_tail)
+        return JournalContents(
+            records=records, torn_tail=torn_tail, warnings=tuple(warnings)
+        )
+
+
+def compact_journal(
+    journal: CampaignJournal, out: str | Path | None = None
+) -> tuple[int, int]:
+    """Rewrite a long journal to header + terminal records.
+
+    Heartbeats, leases, extensions, reclamations and master markers are
+    replay noise once their unit has reached a terminal state (or been
+    released back to QUEUED); what resume actually needs is the header
+    (with its expansion fingerprint intact) plus, per unit, the standing
+    ``done`` record, the retry accounting of still-``failed`` units, and
+    ``quarantined`` markers.  Fence bookkeeping collapses with the
+    history: the surviving records are exactly the fence-valid ones, so
+    they replay identically without their revoked competitors.
+
+    Writes atomically (temp file + rename) over the journal itself, or
+    to *out* when given, and returns ``(records_before, records_after)``.
+    """
+    # Imported here, not at module top: queue imports journal.
+    from repro.campaign.queue import QueueState, UnitStatus
+
+    contents = journal.read()
+    header = contents.header
+    if header is None:
+        raise CampaignJournalError(f"journal {journal.path} has no header")
+    state = QueueState.from_journal(contents.records)
+    kept: list[JournalRecord] = [header]
+    ordered = sorted(state.units, key=lambda k: state.units[k].index)
+    for key in ordered:
+        kept.append({"event": "queued", "unit": key, "index": state.units[key].index})
+    for key in ordered:
+        entry = state.units[key]
+        if entry.status is UnitStatus.DONE and entry.result is not None:
+            kept.append(
+                {"event": "done", "unit": key, "result": entry.result.as_dict()}
+            )
+        elif entry.status is UnitStatus.QUARANTINED:
+            kept.append(
+                {
+                    "event": "quarantined",
+                    "unit": key,
+                    "reclaims": entry.reclaims,
+                    "deaths": entry.deaths,
+                    "error": entry.quarantine_error,
+                }
+            )
+        elif entry.status is UnitStatus.FAILED:
+            # One record per exhausted budget kind: replay rebuilds both
+            # the crash-attempt and worker-death counters.
+            if entry.attempts:
+                kept.append(
+                    {
+                        "event": "failed",
+                        "unit": key,
+                        "error": entry.last_error,
+                        "kind": "crash",
+                        "attempt": entry.attempts,
+                    }
+                )
+            if entry.deaths:
+                kept.append(
+                    {
+                        "event": "failed",
+                        "unit": key,
+                        "error": entry.last_error,
+                        "kind": "died",
+                        "death": entry.deaths,
+                    }
+                )
+    target = journal.path if out is None else Path(out)
+    tmp = target.with_suffix(target.suffix + ".compact")
+    compacted = CampaignJournal(tmp)
+    try:
+        tmp.unlink()
+    except OSError:
+        pass
+    for record in kept:
+        compacted.append(record)
+    os.replace(tmp, target)
+    return len(contents.records), len(kept)

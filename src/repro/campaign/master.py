@@ -1,31 +1,53 @@
-"""The campaign master: lease, dispatch, record, aggregate, resume.
+"""The campaign master: lease, dispatch, supervise, record, resume.
 
 :class:`CampaignMaster` drives one campaign to completion.  A fresh run
 journals the header and every ``queued`` unit before dispatching; a
 resumed run (:meth:`CampaignMaster.resume` + ``run(resume=True)``)
 replays the journal instead, validates the expansion fingerprint, keeps
 every durably recorded result, and re-leases only what is still
-outstanding -- expired leases, leases owned by the dead incarnation, and
+outstanding -- expired leases, leases owned by dead incarnations, and
 retryable failures with attempt budget left.
 
 Workers are the existing :class:`~repro.runtime.engine.ExecutionEngine`
 pool: units cross the process boundary as frozen
-:class:`~repro.campaign.units.WorkUnit` payloads and come back as
-:class:`~repro.campaign.units.UnitResult` rows.  The dispatch wrapper
-(:func:`_execute_unit_task`) converts unexpected worker exceptions into
-retryable failures so one bad unit cannot take down the campaign, while
-deterministic failures (invalid cells) complete normally with
-``ok=False``.
+:class:`~repro.campaign.units.WorkUnit` payloads (wrapped in a
+:class:`LeasedUnit` envelope when journaled, so the worker can heartbeat)
+and come back as :class:`~repro.campaign.units.UnitResult` rows.  The
+dispatch wrapper (:func:`_execute_unit_task`) converts unexpected worker
+exceptions into retryable failures so one bad unit cannot take down the
+campaign, while deterministic failures (invalid cells) complete normally
+with ``ok=False``.
 
-Journal writes happen in the master only -- ``leased`` from the engine's
-``prepare`` hook (right before dispatch), ``done``/``failed`` from
-``on_result`` (the moment a result lands) -- so the journal is
-single-writer even when eight workers are executing.
+**Supervision.**  While a batch executes, the engine's ``tick`` hook
+gives control back to the master every ``policy.tick_s``: it tails the
+journal for worker heartbeats, feeds them to a
+:class:`~repro.campaign.supervise.Supervisor`, and honors its decisions
+-- *slow* leases are extended with bounded backoff, *stuck* leases
+(heartbeat-stale) are fenced, journaled as ``reclaimed``, and their
+engine futures abandoned immediately, no wall-timeout wait.  A worker
+process lost to a pool crash is journaled as ``failed kind="died"``
+(the engine's per-item crash budget hands it straight back instead of
+retrying blind).  A unit reclaimed or orphaned too many times is
+**quarantined**: a distinct terminal state reported honestly.
+
+**Drain.**  SIGTERM closes the engine's dispatch gate -- no new leases
+-- and lets in-flight units finish until the drain deadline, after which
+they are reclaimed with reason ``drain`` (never counted toward
+quarantine).  A clean ``drained`` marker ends the journal so resume
+needs no replay guesswork.
+
+Journal *state transitions* happen in the master only -- ``leased`` from
+the engine's ``prepare`` hook, ``done``/``failed`` from ``on_result``,
+``extended``/``reclaimed``/``quarantined`` from the tick -- workers
+append only advisory ``heartbeat`` records, so every transition still
+has exactly one writer.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import cast
@@ -36,11 +58,24 @@ from repro.campaign.journal import (
     CampaignJournalError,
     JournalRecord,
 )
-from repro.campaign.queue import QueueState, UnitStatus
+from repro.campaign.queue import (
+    RECLAIM_FAULT_REASONS,
+    QueueState,
+    UnitStatus,
+)
 from repro.campaign.report import CampaignReport, build_report
 from repro.campaign.spec import CampaignSpec
+from repro.campaign.supervise import (
+    Extend,
+    JournalTail,
+    SupervisePolicy,
+    Supervisor,
+)
 from repro.campaign.units import UnitResult, WorkUnit, execute_unit
 from repro.runtime.engine import ExecutionEngine
+
+#: Error text journaled when a pool worker is lost mid-unit.
+WORKER_DIED_ERROR = "worker process died mid-unit"
 
 
 @dataclass
@@ -55,6 +90,11 @@ class CampaignRunStats:
     torn_tail: bool = False  # the journal ended in a crash-torn line
     mode: str = "serial"  # last engine pass mode
     workers: int = 1
+    reclaims: int = 0  # stuck/expired leases reclaimed by this run
+    extensions: int = 0  # slow leases extended by this run
+    deaths: int = 0  # worker processes lost mid-unit
+    quarantined: int = 0  # units quarantined by this run
+    drained: bool = False  # this run stopped on a SIGTERM drain
 
 
 @dataclass(frozen=True)
@@ -66,14 +106,55 @@ class CampaignOutcome:
     stats: CampaignRunStats = field(default_factory=CampaignRunStats)
 
 
-def _execute_unit_task(unit: WorkUnit, context: object) -> UnitResult:
+@dataclass(frozen=True)
+class LeasedUnit:
+    """A dispatched unit plus everything its worker needs to heartbeat."""
+
+    unit: WorkUnit
+    journal_path: str
+    fence: int
+    worker: str
+    heartbeat_s: float
+
+
+def _execute_unit_task(
+    payload: "WorkUnit | LeasedUnit", context: object
+) -> UnitResult:
     """The engine work function: run one unit, never let it raise.
 
     :func:`~repro.campaign.units.execute_unit` already absorbs
     deterministic failures; anything else escaping here is an unexpected
     crash and comes back as a retryable failure record instead of
-    poisoning the pool pass.
+    poisoning the pool pass.  For :class:`LeasedUnit` payloads a
+    :class:`~repro.campaign.supervise.HeartbeatEmitter` appends advisory
+    liveness records to the journal for the unit's duration.
     """
+    # checks: worker-scope
+    emitter = None
+    if isinstance(payload, LeasedUnit):
+        unit = payload.unit
+        if payload.heartbeat_s > 0:
+            from repro.campaign.chaos import (
+                heartbeat_filter_from_env,
+                tamper_from_env,
+            )
+            from repro.campaign.supervise import HeartbeatEmitter
+
+            emitter = HeartbeatEmitter(
+                payload.journal_path,
+                key=unit.key,
+                index=unit.index,
+                fence=payload.fence,
+                worker=payload.worker,
+                interval_s=payload.heartbeat_s,
+                chaos=heartbeat_filter_from_env(),
+            )
+            emitter.journal.tamper = tamper_from_env(
+                payload.journal_path, role="worker"
+            )
+            emitter.start()
+    else:
+        unit = payload
     try:
         return execute_unit(unit)
     except Exception as exc:  # the process boundary must not leak raises
@@ -84,10 +165,13 @@ def _execute_unit_task(unit: WorkUnit, context: object) -> UnitResult:
             error=f"{type(exc).__name__}: {exc}",
             retryable=True,
         )
+    finally:
+        if emitter is not None:
+            emitter.stop()
 
 
 class CampaignMaster:
-    """Runs one campaign, optionally journaled and resumable.
+    """Runs one campaign, optionally journaled, supervised, resumable.
 
     Parameters
     ----------
@@ -96,7 +180,7 @@ class CampaignMaster:
         :class:`~repro.campaign.spec.CampaignSpec`.
     journal:
         Where to journal transitions; ``None`` runs in-memory only
-        (no resume, e.g. the sweep front-end).
+        (no resume, no heartbeats -- e.g. the sweep front-end).
     scale, seed, payload_bytes, fault_seed:
         Expansion options (see :meth:`CampaignSpec.expand`).
     workers:
@@ -106,6 +190,14 @@ class CampaignMaster:
     max_attempts:
         Total tries a retryably-failing unit gets before it is reported
         as ``failed``.
+    supervise:
+        The :class:`~repro.campaign.supervise.SupervisePolicy`
+        (heartbeat interval, staleness threshold, quarantine threshold);
+        defaults to :meth:`SupervisePolicy.resolve` against the lease
+        timeout.
+    drain_timeout_s:
+        After SIGTERM, how long in-flight units get to finish before
+        being reclaimed with reason ``drain``.
     """
 
     def __init__(
@@ -120,6 +212,8 @@ class CampaignMaster:
         workers: int | None = None,
         lease_timeout_s: float = 600.0,
         max_attempts: int = 3,
+        supervise: SupervisePolicy | None = None,
+        drain_timeout_s: float = 30.0,
     ) -> None:
         self.spec = CampaignSpec.parse(spec) if isinstance(spec, str) else spec
         self.journal = journal
@@ -134,18 +228,33 @@ class CampaignMaster:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.max_attempts = int(max_attempts)
+        self.supervise = (
+            supervise
+            if supervise is not None
+            else SupervisePolicy.resolve(lease_timeout_s=self.lease_timeout_s)
+        )
+        if drain_timeout_s <= 0.0:
+            raise ValueError(f"drain_timeout_s must be > 0, got {drain_timeout_s}")
+        self.drain_timeout_s = float(drain_timeout_s)
         self.units = self.spec.expand(
             scale=scale, seed=self.seed, payload_bytes=self.payload_bytes,
             fault_seed=fault_seed,
         )
         self.incarnation = f"{os.getpid():x}.{time.time_ns():x}"
+        self._draining = False
+        self._drain_deadline: float | None = None
 
     # ------------------------------------------------------------------
     # Construction from a journal (the `resume` CLI path)
     # ------------------------------------------------------------------
     @classmethod
     def resume(
-        cls, journal: CampaignJournal, *, workers: int | None = None
+        cls,
+        journal: CampaignJournal,
+        *,
+        workers: int | None = None,
+        supervise: SupervisePolicy | None = None,
+        drain_timeout_s: float = 30.0,
     ) -> "CampaignMaster":
         """A master reconstructed from a journal's header record."""
         header = journal.read().header
@@ -162,6 +271,8 @@ class CampaignMaster:
             workers=workers,
             lease_timeout_s=float(cast(float, header["lease_timeout_s"])),
             max_attempts=int(cast(int, header["max_attempts"])),
+            supervise=supervise,
+            drain_timeout_s=drain_timeout_s,
         )
 
     # ------------------------------------------------------------------
@@ -234,10 +345,69 @@ class CampaignMaster:
         return queue
 
     # ------------------------------------------------------------------
+    # Supervision bookkeeping (journal + queue + stats in one step)
+    # ------------------------------------------------------------------
+    def _reclaim(
+        self,
+        queue: QueueState,
+        supervisor: Supervisor,
+        stats: CampaignRunStats,
+        key: str,
+        fence: int,
+        reason: str,
+        now: float,
+    ) -> None:
+        """Fence a lease off, journal the reclaim, maybe quarantine."""
+        self._append(
+            {"event": "reclaimed", "unit": key, "fence": fence,
+             "reason": reason, "t": now}
+        )
+        queue.mark_reclaimed(key, reason)
+        supervisor.untrack(key)
+        if reason in RECLAIM_FAULT_REASONS:
+            stats.reclaims += 1
+        self._maybe_quarantine(queue, stats, key)
+
+    def _maybe_quarantine(
+        self, queue: QueueState, stats: CampaignRunStats, key: str
+    ) -> None:
+        """Quarantine *key* if its reclaim or death budget is spent."""
+        entry = queue.units[key]
+        if entry.terminal:
+            return
+        threshold = self.supervise.quarantine_after
+        if entry.reclaims < threshold and entry.deaths < threshold:
+            return
+        # Synthesized purely from journaled counters, so replaying the
+        # journal reproduces the identical report row.
+        error = (
+            f"quarantined after {entry.reclaims} lease reclamations "
+            f"and {entry.deaths} worker deaths"
+        )
+        self._append(
+            {"event": "quarantined", "unit": key, "reclaims": entry.reclaims,
+             "deaths": entry.deaths, "error": error}
+        )
+        queue.mark_quarantined(key, error)
+        stats.quarantined += 1
+
+    def _handle_sigterm(self, signum: int, frame: object) -> None:
+        self._draining = True
+
+    def _install_sigterm(self) -> object | None:
+        """Install the drain handler; returns the previous one, if any."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        try:
+            return signal.signal(signal.SIGTERM, self._handle_sigterm)
+        except (ValueError, OSError):  # exotic embedding; drain unavailable
+            return None
+
+    # ------------------------------------------------------------------
     # The run loop
     # ------------------------------------------------------------------
     def run(self, resume: bool = False) -> CampaignOutcome:
-        """Drive the campaign until every unit is DONE or out of budget."""
+        """Drive the campaign until every unit is terminal or out of budget."""
         stats = CampaignRunStats(
             units_total=len(self.units),
             workers=ExecutionEngine(workers=self.workers).workers,
@@ -245,51 +415,43 @@ class CampaignMaster:
         queue = self._start_resumed(stats) if resume else self._start_fresh()
         by_key = {unit.key: unit for unit in self.units}
         engine = ExecutionEngine(workers=self.workers)
-
-        while True:
-            ready = queue.runnable(time.time(), self.incarnation, self.max_attempts)
-            if not ready:
-                break
-            batch = [by_key[entry.key] for entry in ready]
-
-            def prepare(_index: int, unit: WorkUnit) -> WorkUnit:
-                expires = time.time() + self.lease_timeout_s
-                self._append(
-                    {
-                        "event": "leased",
-                        "unit": unit.key,
-                        "worker": self.incarnation,
-                        "expires": expires,
-                    }
-                )
-                queue.lease(unit.key, self.incarnation, expires)
-                return unit
-
-            def on_result(_index: int, result: UnitResult) -> None:
-                if result.ok or not result.retryable:
-                    if queue.mark_done(result.key, result):
-                        self._append(
-                            {
-                                "event": "done",
-                                "unit": result.key,
-                                "result": result.as_dict(),
-                            }
-                        )
-                else:
-                    attempts = queue.mark_failed(result.key)
-                    stats.retries += 1
-                    self._append(
-                        {
-                            "event": "failed",
-                            "unit": result.key,
-                            "error": result.error,
-                            "attempt": attempts,
-                        }
+        policy = self.supervise
+        supervisor = Supervisor(policy)
+        supervised = self.journal is not None
+        if supervised:
+            # Leases are granted at dispatch but execution starts when a
+            # pool worker picks the unit up; cap the dispatch window at
+            # the worker count so a leased unit is (nearly) always
+            # executing -- silent-but-queued leases would otherwise burn
+            # their first-beat grace waiting in line.
+            engine.max_inflight = min(engine.max_inflight, engine.workers)
+        tail = JournalTail(self.journal.path) if self.journal is not None else None
+        self._draining = False
+        self._drain_deadline = None
+        previous_handler = self._install_sigterm()
+        try:
+            self._run_loop(
+                stats, queue, by_key, engine, policy, supervisor, supervised, tail
+            )
+        finally:
+            if previous_handler is not None:
+                signal.signal(signal.SIGTERM, previous_handler)  # type: ignore[arg-type]
+        if self._draining:
+            # Belt and braces: nothing of ours should still be leased
+            # (in-flight work either finished or was drain-reclaimed in
+            # the tick), but the drained marker promises it.
+            for entry in queue.leases():
+                if entry.lease_owner == self.incarnation:
+                    self._reclaim(
+                        queue, supervisor, stats, entry.key, entry.fence,
+                        "drain", time.time(),
                     )
-
-            engine.map(_execute_unit_task, batch, prepare=prepare, on_result=on_result)
-            stats.executed += len(batch)
-            stats.mode = engine.stats.mode
+            outstanding = sum(1 for e in queue.units.values() if not e.terminal)
+            self._append(
+                {"event": "drained", "incarnation": self.incarnation,
+                 "outstanding": outstanding, "t": time.time()}
+            )
+            stats.drained = True
 
         results = queue.results()
         # Units that exhausted their retry budget still belong in the
@@ -303,10 +465,182 @@ class CampaignMaster:
                 error=f"unit failed {entry.attempts} attempts",
                 retryable=True,
             )
+        quarantined = {
+            entry.key: entry.quarantine_error or "quarantined"
+            for entry in queue.quarantined()
+        }
         report = build_report(
-            self.spec.spec(), self.scale, self.seed, self.units, results
+            self.spec.spec(), self.scale, self.seed, self.units, results,
+            quarantined=quarantined,
         )
         return CampaignOutcome(report=report, results=results, stats=stats)
+
+    def _run_loop(
+        self,
+        stats: CampaignRunStats,
+        queue: QueueState,
+        by_key: dict[str, WorkUnit],
+        engine: ExecutionEngine,
+        policy: SupervisePolicy,
+        supervisor: Supervisor,
+        supervised: bool,
+        tail: JournalTail | None,
+    ) -> None:
+        while not self._draining:
+            now = time.time()
+            ready = queue.runnable(now, self.incarnation, self.max_attempts)
+            if not ready:
+                break
+            batch: list[WorkUnit] = []
+            for entry in ready:
+                if entry.status is UnitStatus.LEASED:
+                    # A lease we can take over: wall-clock expired, or
+                    # held by a dead incarnation (journals are
+                    # single-master).  Fence it off first so its late
+                    # records are rejected on replay.
+                    reason = (
+                        "expired"
+                        if entry.lease_owner == self.incarnation
+                        else "takeover"
+                    )
+                    self._reclaim(
+                        queue, supervisor, stats, entry.key, entry.fence,
+                        reason, now,
+                    )
+                    if queue.units[entry.key].terminal:
+                        continue  # the reclaim tipped it into quarantine
+                batch.append(by_key[entry.key])
+            if not batch:
+                continue  # quarantines shrank the batch; re-plan
+            index_of = {unit.key: i for i, unit in enumerate(batch)}
+
+            def prepare(
+                _index: int, payload: "WorkUnit | LeasedUnit"
+            ) -> "WorkUnit | LeasedUnit":
+                # Engine-internal retries re-prepare the wrapped item.
+                unit = payload.unit if isinstance(payload, LeasedUnit) else payload
+                fence = queue.next_fence(unit.key)
+                granted = time.time()
+                expires = granted + self.lease_timeout_s
+                self._append(
+                    {"event": "leased", "unit": unit.key, "index": unit.index,
+                     "worker": self.incarnation, "fence": fence,
+                     "granted": granted, "expires": expires}
+                )
+                queue.lease(unit.key, self.incarnation, expires, fence, granted)
+                supervisor.track(unit.key, unit.index, fence, granted, expires)
+                if self.journal is None:
+                    return unit
+                return LeasedUnit(
+                    unit=unit,
+                    journal_path=str(self.journal.path),
+                    fence=fence,
+                    worker=self.incarnation,
+                    heartbeat_s=policy.heartbeat_s,
+                )
+
+            def on_result(_index: int, result: UnitResult) -> None:
+                key = result.key
+                fence = queue.units[key].fence
+                supervisor.untrack(key)
+                if result.ok or not result.retryable:
+                    if queue.mark_done(key, result, fence):
+                        self._append(
+                            {"event": "done", "unit": key, "fence": fence,
+                             "result": result.as_dict()}
+                        )
+                else:
+                    attempts = queue.mark_failed(
+                        key, kind="crash", error=result.error
+                    )
+                    stats.retries += 1
+                    self._append(
+                        {"event": "failed", "unit": key, "fence": fence,
+                         "kind": "crash", "error": result.error,
+                         "attempt": attempts}
+                    )
+
+            def on_abandon(index: int, reason: str) -> None:
+                if reason != "crash":
+                    return  # tick reclaims journal their own records
+                key = batch[index].key
+                entry = queue.units[key]
+                if entry.terminal:
+                    return
+                supervisor.untrack(key)
+                deaths = queue.mark_failed(
+                    key, kind="died", error=WORKER_DIED_ERROR
+                )
+                stats.deaths += 1
+                self._append(
+                    {"event": "failed", "unit": key, "fence": entry.fence,
+                     "kind": "died", "error": WORKER_DIED_ERROR,
+                     "death": deaths}
+                )
+                self._maybe_quarantine(queue, stats, key)
+
+            def tick(inflight: "tuple[int, ...] | list[int]") -> set[int]:
+                if tail is not None:
+                    for record in tail.poll():
+                        if record.get("event") != "heartbeat":
+                            continue
+                        supervisor.observe(record)
+                        queue.observe_heartbeat(
+                            str(record.get("unit")),
+                            cast("int | None", record.get("fence")),
+                            int(cast(int, record.get("seq", 0))),
+                            float(cast(float, record.get("t", 0.0))),
+                        )
+                now = time.time()
+                abandon: set[int] = set()
+                if self._draining:
+                    if self._drain_deadline is None:
+                        self._drain_deadline = now + self.drain_timeout_s
+                    if now >= self._drain_deadline:
+                        for key, lease in list(supervisor.leases.items()):
+                            self._reclaim(
+                                queue, supervisor, stats, key, lease.fence,
+                                "drain", now,
+                            )
+                            i = index_of.get(key)
+                            if i is not None:
+                                abandon.add(i)
+                    return abandon
+                for decision in supervisor.decide(now):
+                    if isinstance(decision, Extend):
+                        self._append(
+                            {"event": "extended", "unit": decision.key,
+                             "fence": decision.fence,
+                             "expires": decision.expires_s,
+                             "extension": decision.extension}
+                        )
+                        queue.extend(
+                            decision.key, decision.expires_s, decision.extension
+                        )
+                        stats.extensions += 1
+                    else:
+                        self._reclaim(
+                            queue, supervisor, stats, decision.key,
+                            decision.fence, decision.reason, now,
+                        )
+                        i = index_of.get(decision.key)
+                        if i is not None:
+                            abandon.add(i)
+                return abandon
+
+            engine.map(
+                _execute_unit_task,
+                batch,
+                prepare=prepare,
+                on_result=on_result,
+                tick=tick if supervised else None,
+                tick_interval_s=policy.tick_s,
+                dispatch_gate=lambda: not self._draining,
+                on_abandon=on_abandon,
+                abandon_after_crashes=1,
+            )
+            stats.executed += len(batch)
+            stats.mode = engine.stats.mode
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +655,37 @@ def journal_status(journal: CampaignJournal) -> dict[str, object]:
     master = CampaignMaster.resume(journal)
     queue = QueueState.for_units(master.units)
     queue.replay(contents.records)
+    now = time.time()
+    leases = [
+        {
+            "unit": entry.key,
+            "index": entry.index,
+            "owner": entry.lease_owner,
+            "fence": entry.fence,
+            "lease_age_s": round(max(0.0, now - entry.lease_granted_s), 3),
+            # A lease that never managed a beat shows its age as the
+            # staleness -- the same anchor the supervisor judges by.
+            "heartbeat_age_s": (
+                round(max(0.0, now - entry.last_heartbeat_s), 3)
+                if entry.heartbeat_seq >= 0
+                else None
+            ),
+            "heartbeat_seq": entry.heartbeat_seq,
+            "expires_in_s": round(entry.lease_expires_s - now, 3),
+        }
+        for entry in queue.leases()
+    ]
+    quarantined = [
+        {
+            "unit": entry.key,
+            "index": entry.index,
+            "reclaims": entry.reclaims,
+            "deaths": entry.deaths,
+            "error": entry.quarantine_error,
+        }
+        for entry in queue.quarantined()
+    ]
+    drained = any(r.get("event") == "drained" for r in contents.records)
     return {
         "spec": header["spec"],
         "scale": header["scale"],
@@ -329,19 +694,28 @@ def journal_status(journal: CampaignJournal) -> dict[str, object]:
         "counts": queue.counts(),
         "torn_tail": contents.torn_tail,
         "complete": queue.complete,
+        "leases": leases,
+        "quarantined": quarantined,
+        "drained": drained,
+        "warnings": list(contents.warnings),
     }
 
 
 def report_from_journal(journal: CampaignJournal) -> CampaignReport:
     """The aggregated report of whatever a journal has durably recorded.
 
-    Purely a fold over ``done`` records -- no units execute, so this
+    Purely a fold over terminal records -- no units execute, so this
     works on journals of crashed, partial, or finished campaigns alike.
     """
     contents = journal.read()
     master = CampaignMaster.resume(journal)
     queue = QueueState.for_units(master.units)
     queue.replay(contents.records)
+    quarantined = {
+        entry.key: entry.quarantine_error or "quarantined"
+        for entry in queue.quarantined()
+    }
     return build_report(
-        master.spec.spec(), master.scale, master.seed, master.units, queue.results()
+        master.spec.spec(), master.scale, master.seed, master.units,
+        queue.results(), quarantined=quarantined,
     )

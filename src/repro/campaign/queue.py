@@ -4,13 +4,16 @@ The persistent queue is *derived*, never stored: replaying a journal's
 records through :meth:`QueueState.apply` reconstructs exactly the state
 the dead master had durably recorded, which is what makes ``--resume``
 safe after any crash.  The in-memory mirrors (:meth:`QueueState.lease`,
-:meth:`QueueState.mark_done`, :meth:`QueueState.mark_failed`) keep a
-live master's view in step with what it appends.
+:meth:`QueueState.mark_done`, :meth:`QueueState.mark_failed`, ...) keep
+a live master's view in step with what it appends.
 
 Lifecycle::
 
-    QUEUED --lease--> LEASED --done--> DONE        (terminal)
-                         |----failed--> FAILED --lease--> ...
+    QUEUED --lease--> LEASED --done--> DONE              (terminal)
+       ^                 |----failed--> FAILED --lease--> ...
+       |                 |
+       '---reclaimed-----'        too many reclaims/deaths
+                                  --> QUARANTINED        (terminal)
 
 ``done`` is terminal and first-wins: if a unit is somehow completed
 twice (a worker finishing just before its lease is declared dead, then
@@ -18,10 +21,29 @@ the re-leased copy finishing too), the first recorded result stands and
 the duplicate is ignored -- so the aggregated report never double-counts
 a unit no matter how messy the crash history was.
 
-A lease is *runnable again* when it has expired (wall clock) or when it
-is owned by a different master incarnation: journals are single-master,
-so a foreign owner is by definition a dead one, and resume does not have
-to wait out its lease timeout.
+**Fencing.**  Every lease grant carries a *fence token*: a per-unit
+monotonically increasing integer.  A ``done``/``failed`` record is valid
+only if its fence is the unit's *newest* granted fence and that fence
+has not been revoked by a ``reclaimed`` record.  A worker that was
+SIGSTOPped, declared stuck, reclaimed, and later resumed can therefore
+never corrupt the queue: its late records carry a stale fence and are
+rejected deterministically on replay -- first *valid* fence wins, so the
+standing result (and with it :class:`~repro.campaign.report.
+CampaignReport`) is identical under any reclamation history.  Records
+without a fence (pre-fencing journals) are always considered valid.
+
+A lease is *runnable again* when it has expired (wall clock), when it is
+owned by a different master incarnation (journals are single-master, so
+a foreign owner is by definition a dead one, and resume does not have to
+wait out its lease timeout), or when it was explicitly reclaimed by the
+supervisor (heartbeat-stale -- see :mod:`repro.campaign.supervise`).
+
+**Poison units.**  ``failed`` records are two-budget: ``kind="crash"``
+(an exception inside the worker; counts against ``--max-attempts``) and
+``kind="died"`` (the worker process was lost mid-unit; counts against
+the quarantine threshold).  A unit whose lease is reclaimed or whose
+worker dies too many times is *quarantined* -- a distinct terminal state
+reported honestly instead of being retried forever.
 """
 
 from __future__ import annotations
@@ -33,6 +55,10 @@ from typing import cast
 from repro.campaign.journal import JournalRecord
 from repro.campaign.units import UnitResult, WorkUnit
 
+#: ``reclaimed`` reasons that count toward the quarantine threshold
+#: (``drain`` is operator-initiated, not the unit's fault).
+RECLAIM_FAULT_REASONS = ("stuck", "expired")
+
 
 class UnitStatus(Enum):
     """Where one unit is in its lifecycle."""
@@ -41,6 +67,7 @@ class UnitStatus(Enum):
     LEASED = "leased"
     DONE = "done"
     FAILED = "failed"
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -50,10 +77,31 @@ class UnitState:
     key: str
     index: int
     status: UnitStatus = UnitStatus.QUEUED
-    attempts: int = 0
+    attempts: int = 0  # crash-kind failures (in-worker exceptions)
+    deaths: int = 0  # died-kind failures (worker process lost)
+    reclaims: int = 0  # stuck/expired lease reclamations
+    fence: int = 0  # newest granted fence token
+    revoked: set[int] = field(default_factory=set)
     lease_owner: str | None = None
     lease_expires_s: float = 0.0
+    lease_granted_s: float = 0.0
+    last_heartbeat_s: float = 0.0
+    heartbeat_seq: int = -1
+    extensions: int = 0
     result: UnitResult | None = None
+    last_error: str | None = None
+    quarantine_error: str | None = None
+
+    def fence_valid(self, fence: int | None) -> bool:
+        """Whether a record carrying *fence* may transition this unit."""
+        if fence is None:
+            return True  # pre-fencing journals carry no tokens
+        return fence == self.fence and fence not in self.revoked
+
+    @property
+    def terminal(self) -> bool:
+        """DONE and QUARANTINED accept no further transitions."""
+        return self.status in (UnitStatus.DONE, UnitStatus.QUARANTINED)
 
     def runnable(self, now: float, owner: str, max_attempts: int) -> bool:
         """Whether *owner* may (re-)lease this unit at time *now*."""
@@ -63,11 +111,16 @@ class UnitState:
             return self.attempts < max_attempts
         if self.status is UnitStatus.LEASED:
             return self.lease_owner != owner or self.lease_expires_s <= now
-        return False  # DONE is terminal
+        return False  # DONE and QUARANTINED are terminal
 
 
 class CampaignQueueError(ValueError):
     """Raised when journal records do not fit the campaign's unit set."""
+
+
+def _record_fence(record: JournalRecord) -> int | None:
+    fence = record.get("fence")
+    return None if fence is None else int(cast(int, fence))
 
 
 @dataclass
@@ -82,6 +135,21 @@ class QueueState:
         return QueueState(
             units={unit.key: UnitState(key=unit.key, index=unit.index) for unit in units}
         )
+
+    @staticmethod
+    def from_journal(records: list[JournalRecord]) -> "QueueState":
+        """A queue rebuilt from a journal alone (its ``queued`` records
+        define the unit set) -- the journal-only view ``status``,
+        ``report`` and ``compact`` use; no spec expansion needed."""
+        state = QueueState()
+        for record in records:
+            if record.get("event") == "queued":
+                key = str(record.get("unit"))
+                state.units[key] = UnitState(
+                    key=key, index=int(cast(int, record.get("index", 0)))
+                )
+        state.replay(records)
+        return state
 
     def _entry(self, record: JournalRecord) -> UnitState:
         key = str(record.get("unit"))
@@ -100,28 +168,87 @@ class QueueState:
             self._entry(record)  # validates the key; QUEUED is the initial state
         elif event == "leased":
             entry = self._entry(record)
-            if entry.status is UnitStatus.DONE:
+            if entry.terminal:
                 return
+            fence = _record_fence(record)
             entry.status = UnitStatus.LEASED
             entry.lease_owner = str(record.get("worker"))
             entry.lease_expires_s = float(cast(float, record.get("expires", 0.0)))
+            entry.lease_granted_s = float(cast(float, record.get("granted", 0.0)))
+            # Granting fence N implicitly invalidates every older fence:
+            # validity requires fence == entry.fence.
+            entry.fence = max(entry.fence, entry.fence + 1 if fence is None else fence)
+            entry.last_heartbeat_s = entry.lease_granted_s
+            entry.heartbeat_seq = -1
+            entry.extensions = 0
+        elif event == "heartbeat":
+            entry = self._entry(record)
+            if entry.terminal or not entry.fence_valid(_record_fence(record)):
+                return
+            entry.last_heartbeat_s = float(cast(float, record.get("t", 0.0)))
+            entry.heartbeat_seq = max(
+                entry.heartbeat_seq, int(cast(int, record.get("seq", 0)))
+            )
+        elif event == "extended":
+            entry = self._entry(record)
+            if entry.terminal or not entry.fence_valid(_record_fence(record)):
+                return
+            entry.lease_expires_s = float(cast(float, record.get("expires", 0.0)))
+            entry.extensions = max(
+                entry.extensions, int(cast(int, record.get("extension", 0)))
+            )
+        elif event == "reclaimed":
+            entry = self._entry(record)
+            if entry.terminal:
+                return
+            fence = _record_fence(record)
+            if fence is not None:
+                entry.revoked.add(fence)
+            if str(record.get("reason")) in RECLAIM_FAULT_REASONS:
+                entry.reclaims += 1
+            if entry.status is UnitStatus.LEASED and (
+                fence is None or fence == entry.fence
+            ):
+                entry.status = UnitStatus.QUEUED
+                entry.lease_owner = None
         elif event == "done":
             entry = self._entry(record)
-            if entry.status is UnitStatus.DONE:
+            if entry.terminal:
                 return  # first result wins; ignore duplicates
-            entry.status = UnitStatus.DONE
+            if not entry.fence_valid(_record_fence(record)):
+                return  # a reclaimed lease's late completion: fenced off
             payload = record.get("result")
             if not isinstance(payload, dict):
                 raise CampaignQueueError(
                     f"done record for unit {entry.key!r} has no result payload"
                 )
+            entry.status = UnitStatus.DONE
             entry.result = UnitResult.from_dict(payload)
         elif event == "failed":
             entry = self._entry(record)
-            if entry.status is UnitStatus.DONE:
+            if entry.terminal:
                 return
+            if not entry.fence_valid(_record_fence(record)):
+                return  # a reclaimed lease's late failure: fenced off
             entry.status = UnitStatus.FAILED
-            entry.attempts = max(entry.attempts + 1, int(cast(int, record.get("attempt", 0))))
+            entry.last_error = cast("str | None", record.get("error"))
+            if str(record.get("kind", "crash")) == "died":
+                entry.deaths = max(
+                    entry.deaths + 1, int(cast(int, record.get("death", 0)))
+                )
+            else:
+                entry.attempts = max(
+                    entry.attempts + 1, int(cast(int, record.get("attempt", 0)))
+                )
+            entry.lease_owner = None
+        elif event == "quarantined":
+            entry = self._entry(record)
+            if entry.status is UnitStatus.DONE:
+                return  # a standing result beats a quarantine marker
+            entry.status = UnitStatus.QUARANTINED
+            entry.reclaims = max(entry.reclaims, int(cast(int, record.get("reclaims", 0))))
+            entry.deaths = max(entry.deaths, int(cast(int, record.get("deaths", 0))))
+            entry.quarantine_error = cast("str | None", record.get("error"))
             entry.lease_owner = None
 
     def replay(self, records: list[JournalRecord]) -> None:
@@ -132,30 +259,80 @@ class QueueState:
     # ------------------------------------------------------------------
     # Live-master mirrors (keep in step with journal appends)
     # ------------------------------------------------------------------
-    def lease(self, key: str, owner: str, expires_s: float) -> None:
+    def lease(
+        self, key: str, owner: str, expires_s: float, fence: int, granted_s: float = 0.0
+    ) -> None:
         entry = self.units[key]
         entry.status = UnitStatus.LEASED
         entry.lease_owner = owner
         entry.lease_expires_s = expires_s
+        entry.lease_granted_s = granted_s
+        entry.fence = max(entry.fence, fence)
+        entry.last_heartbeat_s = granted_s
+        entry.heartbeat_seq = -1
+        entry.extensions = 0
 
-    def mark_done(self, key: str, result: UnitResult) -> bool:
-        """Record a completion; False if a prior result already stands."""
+    def next_fence(self, key: str) -> int:
+        """The fence token the next lease of *key* must carry."""
+        return self.units[key].fence + 1
+
+    def observe_heartbeat(self, key: str, fence: int | None, seq: int, t: float) -> None:
+        """Fold one heartbeat into the live view (stale fences ignored)."""
         entry = self.units[key]
-        if entry.status is UnitStatus.DONE:
+        if entry.terminal or not entry.fence_valid(fence):
+            return
+        entry.last_heartbeat_s = max(entry.last_heartbeat_s, t)
+        entry.heartbeat_seq = max(entry.heartbeat_seq, seq)
+
+    def extend(self, key: str, expires_s: float, extension: int) -> None:
+        entry = self.units[key]
+        entry.lease_expires_s = expires_s
+        entry.extensions = max(entry.extensions, extension)
+
+    def mark_reclaimed(self, key: str, reason: str) -> int:
+        """Fence off the current lease; returns the fault-reclaim count."""
+        entry = self.units[key]
+        if entry.terminal:
+            return entry.reclaims
+        entry.revoked.add(entry.fence)
+        if reason in RECLAIM_FAULT_REASONS:
+            entry.reclaims += 1
+        if entry.status is UnitStatus.LEASED:
+            entry.status = UnitStatus.QUEUED
+            entry.lease_owner = None
+        return entry.reclaims
+
+    def mark_done(self, key: str, result: UnitResult, fence: int | None = None) -> bool:
+        """Record a completion; False if fenced off or already standing."""
+        entry = self.units[key]
+        if entry.terminal or not entry.fence_valid(fence):
             return False
         entry.status = UnitStatus.DONE
         entry.result = result
         return True
 
-    def mark_failed(self, key: str) -> int:
-        """Record a retryable crash; returns the new attempt count."""
+    def mark_failed(self, key: str, kind: str = "crash", error: str | None = None) -> int:
+        """Record a retryable failure; returns the new budget count."""
+        entry = self.units[key]
+        if entry.terminal:
+            return entry.attempts if kind == "crash" else entry.deaths
+        entry.status = UnitStatus.FAILED
+        entry.last_error = error if error is not None else entry.last_error
+        entry.lease_owner = None
+        if kind == "died":
+            entry.deaths += 1
+            return entry.deaths
+        entry.attempts += 1
+        return entry.attempts
+
+    def mark_quarantined(self, key: str, error: str) -> None:
+        """Move a poison unit to its terminal quarantine state."""
         entry = self.units[key]
         if entry.status is UnitStatus.DONE:
-            return entry.attempts
-        entry.status = UnitStatus.FAILED
-        entry.attempts += 1
+            return
+        entry.status = UnitStatus.QUARANTINED
+        entry.quarantine_error = error
         entry.lease_owner = None
-        return entry.attempts
 
     # ------------------------------------------------------------------
     # Views
@@ -186,8 +363,8 @@ class QueueState:
 
     @property
     def complete(self) -> bool:
-        """Whether every unit has a standing result."""
-        return all(entry.status is UnitStatus.DONE for entry in self.units.values())
+        """Whether every unit has reached a terminal state."""
+        return all(entry.terminal for entry in self.units.values())
 
     def exhausted(self, max_attempts: int) -> list[UnitState]:
         """FAILED units that are out of retry budget, in index order."""
@@ -197,3 +374,21 @@ class QueueState:
             if entry.status is UnitStatus.FAILED and entry.attempts >= max_attempts
         ]
         return sorted(dead, key=lambda entry: entry.index)
+
+    def leases(self) -> list[UnitState]:
+        """Currently leased units, in index order (the ``status`` view)."""
+        held = [
+            entry
+            for entry in self.units.values()
+            if entry.status is UnitStatus.LEASED
+        ]
+        return sorted(held, key=lambda entry: entry.index)
+
+    def quarantined(self) -> list[UnitState]:
+        """Quarantined units, in index order."""
+        poisoned = [
+            entry
+            for entry in self.units.values()
+            if entry.status is UnitStatus.QUARANTINED
+        ]
+        return sorted(poisoned, key=lambda entry: entry.index)

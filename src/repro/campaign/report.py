@@ -75,8 +75,8 @@ class CampaignReport:
         return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
 
     def counts(self) -> dict[str, int]:
-        """Rows per status (``ok`` / ``invalid`` / ``failed`` / ``missing``)."""
-        out = {"ok": 0, "invalid": 0, "failed": 0, "missing": 0}
+        """Rows per status (``ok``/``invalid``/``failed``/``quarantined``/``missing``)."""
+        out = {"ok": 0, "invalid": 0, "failed": 0, "quarantined": 0, "missing": 0}
         for row in self.rows:
             out[str(row["status"])] += 1
         return out
@@ -88,7 +88,10 @@ class CampaignReport:
             f"campaign: {self.spec}",
             f"  scale={self.scale} seed={self.seed} units={len(self.rows)}",
             "  status: "
-            + " ".join(f"{name}={counts[name]}" for name in ("ok", "invalid", "failed", "missing")),
+            + " ".join(
+                f"{name}={counts[name]}"
+                for name in ("ok", "invalid", "failed", "quarantined", "missing")
+            ),
         ]
         for row in self.rows:
             status = str(row["status"])
@@ -114,18 +117,25 @@ def build_report(
     seed: int,
     units: tuple[WorkUnit, ...] | list[WorkUnit],
     results: dict[str, UnitResult],
+    quarantined: dict[str, str] | None = None,
 ) -> CampaignReport:
     """Fold per-unit results into the canonical aggregated report.
 
     *results* maps unit key to the unit's **standing** result (the first
     one durably recorded).  Units without a result appear as
     ``status="missing"`` rows, so a partially resumed campaign still
-    reports honestly.
+    reports honestly.  *quarantined* maps poison-unit keys to their
+    quarantine error text; those units report as ``status="quarantined"``
+    rows -- the error text is synthesized purely from journaled
+    reclaim/death counts, so replaying the same journal reproduces the
+    same report bytes.
     """
     registry = MetricsRegistry()
+    quarantined = quarantined or {}
     rows: list[dict[str, object]] = []
     n_ok = 0
     n_invalid = 0
+    n_quarantined = 0
     for unit in sorted(units, key=lambda u: u.index):
         result = results.get(unit.key)
         row: dict[str, object] = {
@@ -134,7 +144,11 @@ def build_report(
             "workload": unit.workload,
             "params": unit.params(),
         }
-        if result is None:
+        if unit.key in quarantined:
+            row["status"] = "quarantined"
+            row["error"] = quarantined[unit.key]
+            n_quarantined += 1
+        elif result is None:
             row["status"] = "missing"
         elif result.ok:
             row["status"] = "ok"
@@ -153,6 +167,10 @@ def build_report(
     registry.counter("campaign.units", scope=WORK).inc(len(rows))
     registry.counter("campaign.units_ok", scope=WORK).inc(n_ok)
     registry.counter("campaign.units_invalid", scope=WORK).inc(n_invalid)
+    # Work-scoped on purpose: which units are quarantined is a pure
+    # function of the journal's terminal records, not of wall-clock
+    # scheduling -- replaying the same journal yields the same count.
+    registry.counter("campaign.units_quarantined", scope=WORK).inc(n_quarantined)
     return CampaignReport(
         spec=spec,
         scale=scale,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -41,6 +42,14 @@ WorkFn = Callable[[Any, Any], Any]
 ResultFn = Callable[[int, Any], None]
 #: ``prepare(index, item) -> item`` -- called right before dispatch.
 PrepareFn = Callable[[int, Any], Any]
+#: ``tick(inflight_indices) -> indices_to_abandon`` -- a supervision hook
+#: called at least every ``tick_interval_s`` during a pool pass.
+TickFn = Callable[[Sequence[int]], Iterable[int]]
+#: ``on_abandon(index, reason)`` -- reason is ``"tick"`` (abandoned by
+#: the tick callback) or ``"crash"`` (per-item crash budget exhausted).
+AbandonFn = Callable[[int, str], None]
+#: ``dispatch_gate() -> bool`` -- False stops new items from dispatching.
+GateFn = Callable[[], bool]
 
 
 def default_workers() -> int:
@@ -72,6 +81,9 @@ class EngineStats:
     serial_items: int = 0  # items completed in-process (serial mode or fallback)
     crashes: int = 0  # pool breakages observed
     crashed_items: list[int] = field(default_factory=list)  # items a pool pass lost
+    crash_counts: dict[int, int] = field(default_factory=dict)  # crashes per item
+    abandoned_items: list[int] = field(default_factory=list)  # tick/crash abandons
+    undispatched_items: list[int] = field(default_factory=list)  # gate-halted items
     errors: list[str] = field(default_factory=list)
 
 
@@ -164,6 +176,12 @@ class ExecutionEngine:
         context: Any = None,
         on_result: ResultFn | None = None,
         prepare: PrepareFn | None = None,
+        *,
+        tick: TickFn | None = None,
+        tick_interval_s: float = 0.25,
+        dispatch_gate: GateFn | None = None,
+        on_abandon: AbandonFn | None = None,
+        abandon_after_crashes: int | None = None,
     ) -> list[Any]:
         """Apply ``func(item, context)`` to every item; ordered results.
 
@@ -176,6 +194,30 @@ class ExecutionEngine:
         yet drained) and is how callers *acquire* those slots; the
         returned item replaces the original, so a retried item sees its
         own prepared state and can keep its slots.
+
+        The supervision hooks (all optional, all no-ops by default):
+
+        *tick* is called with the currently in-flight indices at least
+        every *tick_interval_s* during a pool pass (and between items in
+        serial mode, with an empty tuple -- a serial item cannot be
+        interrupted).  Indices it returns are **abandoned**: their
+        futures are dropped (the worker keeps running; its eventual
+        result is discarded), their results stay ``None``, and
+        *on_abandon* fires with reason ``"tick"``.  This is how the
+        campaign master reclaims heartbeat-stale units without waiting
+        out the whole batch.
+
+        *dispatch_gate* is consulted before dispatching each item; once
+        it returns False no further items are submitted, in-flight items
+        drain normally, and the rest are recorded as
+        ``stats.undispatched_items`` (never serially fallen back) --
+        the graceful-drain path.
+
+        *abandon_after_crashes* bounds how many crashed pool passes may
+        lose one item before the engine stops retrying it and abandons
+        it via *on_abandon* with reason ``"crash"`` -- the hook that
+        keeps a worker-killing poison item from reaching the in-process
+        serial fallback and taking the caller down with it.
         """
         items = list(items)
         self.stats = EngineStats(workers=self.workers, items=len(items))
@@ -185,7 +227,8 @@ class ExecutionEngine:
         if not self.parallel or len(items) == 1:
             self.stats.mode = "serial"
             self._run_serial(
-                func, items, context, range(len(items)), results, on_result, prepare
+                func, items, context, range(len(items)), results, on_result, prepare,
+                tick=tick, dispatch_gate=dispatch_gate,
             )
             return results
 
@@ -193,26 +236,48 @@ class ExecutionEngine:
         pending: deque[int] = deque(range(len(items)))
         attempts = 0
         while pending:
+            if dispatch_gate is not None and not dispatch_gate():
+                self.stats.undispatched_items.extend(pending)
+                return results
             if attempts > self.max_retries:
                 break
             try:
                 with self._pass_span(len(pending), rebuild=attempts > 0):
-                    pending = deque(
-                        self._pool_pass(
-                            func, items, context, pending, results, on_result, prepare
-                        )
+                    crashed, leftover, broken = self._pool_pass(
+                        func, items, context, pending, results, on_result, prepare,
+                        tick=tick, tick_interval_s=tick_interval_s,
+                        dispatch_gate=dispatch_gate, on_abandon=on_abandon,
                     )
             except OSError as exc:  # pool could not even be built
                 self.stats.errors.append(repr(exc))
                 break
-            if pending:
+            retry: list[int] = []
+            for index in crashed:
+                count = self.stats.crash_counts.get(index, 0) + 1
+                self.stats.crash_counts[index] = count
+                if index not in self.stats.crashed_items:
+                    self.stats.crashed_items.append(index)
+                if (
+                    abandon_after_crashes is not None
+                    and count >= abandon_after_crashes
+                ):
+                    self.stats.abandoned_items.append(index)
+                    if on_abandon is not None:
+                        on_abandon(index, "crash")
+                else:
+                    retry.append(index)
+            pending = deque(retry + leftover)
+            if broken:
                 attempts += 1
                 self.stats.crashes += 1
-                for index in pending:
-                    if index not in self.stats.crashed_items:
-                        self.stats.crashed_items.append(index)
-                if attempts <= self.max_retries:
+                if attempts <= self.max_retries and pending:
                     self.stats.retries += 1
+            elif pending:
+                # The pass ended cleanly but left items: the dispatch
+                # gate closed mid-pass.  Record and stop -- a drain is
+                # not a crash, so no serial fallback.
+                self.stats.undispatched_items.extend(pending)
+                return results
         if pending:
             if not self.fallback_serial:
                 raise BrokenProcessPool(
@@ -221,7 +286,8 @@ class ExecutionEngine:
                 )
             self.stats.mode = "serial-fallback"
             self._run_serial(
-                func, items, context, list(pending), results, on_result, prepare
+                func, items, context, list(pending), results, on_result, prepare,
+                tick=tick, dispatch_gate=dispatch_gate,
             )
         return results
 
@@ -234,8 +300,16 @@ class ExecutionEngine:
         results: list[Any],
         on_result: ResultFn | None,
         prepare: PrepareFn | None = None,
+        tick: TickFn | None = None,
+        dispatch_gate: GateFn | None = None,
     ) -> None:
-        for index in indices:
+        todo = list(indices)
+        for position, index in enumerate(todo):
+            if dispatch_gate is not None and not dispatch_gate():
+                self.stats.undispatched_items.extend(todo[position:])
+                return
+            if tick is not None:
+                tick(())  # nothing abandonable: the item runs to completion
             if prepare is not None:
                 items[index] = prepare(index, items[index])
             results[index] = func(items[index], context)
@@ -252,11 +326,23 @@ class ExecutionEngine:
         results: list[Any],
         on_result: ResultFn | None,
         prepare: PrepareFn | None = None,
-    ) -> list[int]:
-        """One pool lifetime; returns the indices it failed to finish."""
+        tick: TickFn | None = None,
+        tick_interval_s: float = 0.25,
+        dispatch_gate: GateFn | None = None,
+        on_abandon: AbandonFn | None = None,
+    ) -> tuple[list[int], list[int], bool]:
+        """One pool lifetime.
+
+        Returns ``(crashed, leftover, broken)``: the indices whose
+        futures died with the pool, the indices left queued or in flight
+        when the pass ended (collateral of a breakage, or gate-halted),
+        and whether the pool broke.  Tick-abandoned indices are in
+        neither list -- their futures keep running unobserved and their
+        results are discarded.
+        """
         queue: deque[int] = deque(pending)
         inflight: dict[Future[Any], int] = {}
-        failed: list[int] = []
+        crashed: list[int] = []
         mp_context = multiprocessing.get_context(self.start_method)
         executor = ProcessPoolExecutor(
             max_workers=self.workers,
@@ -265,9 +351,14 @@ class ExecutionEngine:
             initargs=(context,),
         )
         broken = False
+        halted = False
+        last_tick = time.monotonic()
         try:
             while (queue or inflight) and not broken:
-                while queue and len(inflight) < self.max_inflight:
+                while queue and len(inflight) < self.max_inflight and not halted:
+                    if dispatch_gate is not None and not dispatch_gate():
+                        halted = True
+                        break
                     index = queue.popleft()
                     if prepare is not None:
                         items[index] = prepare(index, items[index])
@@ -280,19 +371,35 @@ class ExecutionEngine:
                     inflight[future] = index
                 if not inflight:
                     break
-                done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+                timeout = tick_interval_s if tick is not None else None
+                done, _ = wait(
+                    list(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
                 for future in done:
                     index = inflight.pop(future)
                     try:
                         result = future.result()
                     except BrokenProcessPool as exc:
                         self.stats.errors.append(repr(exc))
-                        failed.append(index)
+                        crashed.append(index)
                         broken = True
                     else:
                         results[index] = result
                         if on_result is not None:
                             on_result(index, result)
+                if tick is not None and not broken:
+                    now = time.monotonic()
+                    if not done or now - last_tick >= tick_interval_s:
+                        last_tick = now
+                        abandon = set(tick(tuple(inflight.values())))
+                        if abandon:
+                            for future, index in list(inflight.items()):
+                                if index in abandon:
+                                    del inflight[future]
+                                    self.stats.abandoned_items.append(index)
+                                    if on_abandon is not None:
+                                        on_abandon(index, "tick")
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
-        return failed + [inflight[f] for f in inflight] + list(queue)
+        leftover = [inflight[f] for f in inflight] + list(queue)
+        return crashed, leftover, broken

@@ -12,13 +12,23 @@ Example::
 ``run`` executes a fresh campaign (journaling every transition when
 ``--journal`` is given); ``resume`` continues a journaled campaign after
 any crash, keeping completed units and re-leasing the rest; ``status``
-and ``report`` only replay the journal -- nothing executes.
+and ``report`` only replay the journal -- nothing executes; ``compact``
+rewrites a long journal to header + terminal records.
+
+Supervision (``--heartbeat-s``/``--stuck-after``/``--quarantine-after``)
+is active whenever a journal is given: workers heartbeat into the
+journal, heartbeat-stale leases are fenced and reclaimed immediately,
+and poison units are quarantined.  SIGTERM drains gracefully
+(``--drain-timeout``).  The :data:`repro.campaign.chaos.CHAOS_ENV`
+environment variable arms in-process fault injection (heartbeat
+drop/delay, journal append tears) for the chaos harness.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+from typing import cast
 
 from repro.campaign import (
     CampaignJournal,
@@ -31,6 +41,9 @@ from repro.campaign import (
     journal_status,
     report_from_journal,
 )
+from repro.campaign.chaos import tamper_from_env
+from repro.campaign.journal import compact_journal
+from repro.campaign.supervise import SupervisePolicy
 
 
 def _add_journal_argument(
@@ -65,6 +78,23 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker processes for unit execution (default: serial)",
+    )
+    parser.add_argument(
+        "--heartbeat-s", type=float, default=1.0, metavar="SECONDS",
+        help="worker heartbeat interval (journaled runs only)",
+    )
+    parser.add_argument(
+        "--stuck-after", type=float, default=None, metavar="SECONDS",
+        help="heartbeat staleness that reclaims a lease "
+        "(default: 4 x heartbeat interval)",
+    )
+    parser.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="N",
+        help="reclaims or worker deaths before a unit is quarantined",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="after SIGTERM, how long in-flight units get to finish",
     )
 
 
@@ -119,6 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_journal_argument(rep)
     _add_report_arguments(rep)
 
+    compact = sub.add_parser(
+        "compact", help="rewrite a journal to header + terminal records"
+    )
+    _add_journal_argument(compact)
+    compact.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the compacted journal here instead of in place",
+    )
+
     return parser
 
 
@@ -138,8 +177,22 @@ def _emit_report(args: argparse.Namespace, report: CampaignReport) -> None:
         print(report.summary())
 
 
+def _chaos_journal(path: str) -> CampaignJournal:
+    """The master's journal, with chaos tear injection armed if enabled."""
+    return CampaignJournal(path, tamper=tamper_from_env(path, role="master"))
+
+
+def _policy(args: argparse.Namespace, lease_timeout_s: float) -> SupervisePolicy:
+    return SupervisePolicy.resolve(
+        heartbeat_s=args.heartbeat_s,
+        stuck_after_s=args.stuck_after,
+        quarantine_after=args.quarantine_after,
+        lease_timeout_s=lease_timeout_s,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    journal = CampaignJournal(args.journal) if args.journal else None
+    journal = _chaos_journal(args.journal) if args.journal else None
     master = CampaignMaster(
         args.spec,
         journal=journal,
@@ -150,6 +203,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         lease_timeout_s=args.lease_timeout,
         max_attempts=args.max_attempts,
+        supervise=_policy(args, args.lease_timeout),
+        drain_timeout_s=args.drain_timeout,
     )
     outcome = master.run()
     _emit_report(args, outcome.report)
@@ -157,7 +212,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    master = CampaignMaster.resume(CampaignJournal(args.journal), workers=args.workers)
+    journal = _chaos_journal(args.journal)
+    header = journal.read().header
+    lease_timeout_s = (
+        float(cast(float, header["lease_timeout_s"])) if header else 600.0
+    )
+    master = CampaignMaster.resume(
+        journal,
+        workers=args.workers,
+        supervise=_policy(args, lease_timeout_s),
+        drain_timeout_s=args.drain_timeout,
+    )
     outcome = master.run(resume=True)
     _emit_report(args, outcome.report)
     return _exit_code(outcome)
@@ -167,6 +232,12 @@ def _exit_code(outcome: CampaignOutcome) -> int:
     """0 when every unit has a standing result (ok or invalid), 1 otherwise."""
     counts = outcome.report.counts()
     return 0 if counts["failed"] == 0 and counts["missing"] == 0 else 1
+
+
+def _format_age(seconds: object) -> str:
+    if seconds is None:
+        return "never"
+    return f"{float(cast(float, seconds)):.1f}s"
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -182,9 +253,35 @@ def _cmd_status(args: argparse.Namespace) -> int:
         f"units={snapshot['units']}"
     )
     print("  " + " ".join(f"{name}={counts[name]}" for name in sorted(counts)))
+    leases = cast("list[dict[str, object]]", snapshot["leases"])
+    for lease in leases:
+        print(
+            f"    [ leased] {lease['unit']}  owner={lease['owner']} "
+            f"fence={lease['fence']} age={_format_age(lease['lease_age_s'])} "
+            f"heartbeat={_format_age(lease['heartbeat_age_s'])} "
+            f"(seq {lease['heartbeat_seq']}) "
+            f"expires_in={_format_age(lease['expires_in_s'])}"
+        )
+    quarantined = cast("list[dict[str, object]]", snapshot["quarantined"])
+    for row in quarantined:
+        print(
+            f"    [ poison] {row['unit']}  reclaims={row['reclaims']} "
+            f"deaths={row['deaths']}: {row['error']}"
+        )
+    for warning in cast("list[str]", snapshot["warnings"]):
+        print(f"  warning: {warning}")
     if snapshot["torn_tail"]:
         print("  note: journal ends in a crash-torn line (ignored)")
+    if snapshot["drained"]:
+        print("  note: campaign was drained cleanly (SIGTERM)")
     print(f"  complete: {snapshot['complete']}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    before, after = compact_journal(CampaignJournal(args.journal), out=args.out)
+    target = args.out or args.journal
+    print(f"compacted {args.journal}: {before} -> {after} records ({target})")
     return 0
 
 
@@ -203,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         "resume": _cmd_resume,
         "status": _cmd_status,
         "report": _cmd_report,
+        "compact": _cmd_compact,
     }
     try:
         return commands[args.command](args)

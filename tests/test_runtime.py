@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 
 import numpy as np
 import pytest
@@ -237,6 +238,19 @@ def _raise_value_error(item, context):
     raise ValueError(f"bad item {item}")
 
 
+def _sleep_if_slow(item, context):
+    if item == "slow":
+        time.sleep(2.0)
+    return f"ok:{item}"
+
+
+def _die_in_pool(item, context):
+    """Dies hard inside pool workers for every item."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return f"ok:{item}"
+
+
 class TestExecutionEngine:
     def test_serial_map(self):
         engine = ExecutionEngine(workers=1)
@@ -289,6 +303,67 @@ class TestExecutionEngine:
         engine = ExecutionEngine(workers=1)
         with pytest.raises(ValueError, match="bad item"):
             engine.map(_raise_value_error, [1])
+
+    @pytest.mark.skipif(
+        resolve_start_method() is None, reason="no multiprocessing here"
+    )
+    def test_tick_abandons_stuck_items(self):
+        abandoned = []
+        engine = ExecutionEngine(workers=2)
+        out = engine.map(
+            _sleep_if_slow,
+            ["slow", "a", "b"],
+            tick=lambda inflight: [i for i in inflight if i == 0],
+            tick_interval_s=0.05,
+            on_abandon=lambda i, reason: abandoned.append((i, reason)),
+        )
+        assert out[0] is None  # the stuck item's result is discarded
+        assert out[1:] == ["ok:a", "ok:b"]
+        assert abandoned == [(0, "tick")]
+        assert engine.stats.abandoned_items == [0]
+
+    def test_serial_tick_runs_between_items(self):
+        ticks = []
+        engine = ExecutionEngine(workers=1)
+        out = engine.map(
+            _square, [1, 2, 3], tick=lambda inflight: ticks.append(inflight) or []
+        )
+        assert out == [1, 4, 9]
+        assert ticks == [(), (), ()]  # once per item, nothing abandonable
+
+    def test_dispatch_gate_halts_remaining_items(self):
+        calls = []
+        engine = ExecutionEngine(workers=1)
+        out = engine.map(
+            _square,
+            [1, 2, 3, 4],
+            dispatch_gate=lambda: calls.append(None) or len(calls) <= 2,
+        )
+        assert out == [1, 4, None, None]
+        assert engine.stats.undispatched_items == [2, 3]
+
+    @pytest.mark.skipif(
+        resolve_start_method() is None, reason="no multiprocessing here"
+    )
+    def test_crash_budget_abandons_instead_of_serial_fallback(self):
+        abandoned = []
+        engine = ExecutionEngine(workers=2, max_retries=4)
+        # Two items: a single item would take the serial shortcut and
+        # never exercise the pool crash budget.
+        out = engine.map(
+            _die_in_pool,
+            ["x", "y"],
+            on_abandon=lambda i, reason: abandoned.append((i, reason)),
+            abandon_after_crashes=1,
+        )
+        assert out == [None, None]
+        assert sorted(abandoned) == [(0, "crash"), (1, "crash")]
+        assert sorted(engine.stats.abandoned_items) == [0, 1]
+        assert engine.stats.mode == "parallel"  # no serial fallback ran
+        assert engine.stats.serial_items == 0
+        assert all(
+            engine.stats.crash_counts[index] == 1 for index in (0, 1)
+        )
 
 
 # ----------------------------------------------------------------------
