@@ -35,6 +35,7 @@ from dataclasses import replace
 from repro.analysis.experiments import ExperimentScale
 from repro.core.pipeline import run_link, run_transport_link
 from repro.faults import FaultPlan
+from repro.tools.perf import bench_envelope
 
 #: The default moderate fault matrix the acceptance gap is stated for.
 MODERATE_MATRIX = (
@@ -235,6 +236,7 @@ def test_fault_matrix_quick(benchmark, emit, results_dir):
 
     record = run_once(benchmark, lambda: run_bench(quick=True))
     emit("bench_faults_quick", format_report(record))
+    bench_envelope(record, bench="faults", quick=True)
     with open(os.path.join(results_dir, "bench_faults_quick.json"), "w") as f:
         json.dump(record, f, indent=2)
     gap = record["transport_gap"]
@@ -271,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
     )
     print(format_report(record))
+    bench_envelope(record, bench="faults", quick=bool(record["quick"]))
     os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
     with open(args.out, "w") as f:
         json.dump(record, f, indent=2)

@@ -30,6 +30,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from dataclasses import replace
 
@@ -37,18 +38,12 @@ import numpy as np
 
 from repro.analysis.experiments import ExperimentScale
 from repro.core.pipeline import run_link
+from repro.obs.live import LiveCollector, install_live
+from repro.tools.perf import bench_envelope, usable_cpus
 
 #: The acceptance workload: 64 gray content frames at benchmark scale.
 STANDARD_FRAMES = 64
 STANDARD_WORKER_COUNTS = (1, 2, 4)
-
-
-def usable_cpus() -> int:
-    """CPUs this process may actually run on."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def sweep_runtime(
@@ -137,7 +132,10 @@ def measure_telemetry_overhead(
 
     Uses best-of-*repeats* timings (the standard noise filter for
     micro-overheads) after one warmup run; the ratio is the cost of the
-    ``repro.obs`` spans, counters and histogram fills along the pipeline.
+    ``repro.obs`` spans, counters and histogram fills along the
+    pipeline.  The "on" leg also runs a 1 Hz live snapshot collector
+    streaming to disk -- the full observability stack a ``--snapshot-out``
+    run pays for -- so the budget covers live telemetry too.
     """
     scale = replace(
         getattr(ExperimentScale, scale_name)(), n_video_frames=n_video_frames
@@ -151,9 +149,21 @@ def measure_telemetry_overhead(
         run_link(config, video, camera=camera, seed=seed, collect_telemetry=collect)
         return time.perf_counter() - wall0
 
+    def one_live() -> float:
+        with tempfile.TemporaryDirectory() as tmp:
+            collector = LiveCollector(
+                interval_s=1.0, snapshot_path=os.path.join(tmp, "live.jsonl")
+            )
+            install_live(collector)
+            try:
+                with collector:
+                    return one(True)
+            finally:
+                install_live(None)
+
     one(False)  # warmup: caches, imports
     off_s = min(one(False) for _ in range(repeats))
-    on_s = min(one(True) for _ in range(repeats))
+    on_s = min(one_live() for _ in range(repeats))
     return {
         "scale": scale_name,
         "n_video_frames": n_video_frames,
@@ -177,6 +187,7 @@ def test_runtime_worker_sweep(benchmark, emit, results_dir):
         ),
     )
     emit("bench_runtime_quick", format_report(record))
+    bench_envelope(record, bench="runtime", quick=True)
     with open(os.path.join(results_dir, "bench_runtime_quick.json"), "w") as f:
         json.dump(record, f, indent=2)
     # The determinism contract holds on any machine.
@@ -197,6 +208,7 @@ def test_telemetry_overhead_within_budget(benchmark, emit, results_dir):
         f"on={record['telemetry_on_s']:.3f}s "
         f"(+{record['overhead_ratio'] * 100:.2f}%)",
     )
+    bench_envelope(record, bench="telemetry_overhead", quick=True)
     with open(os.path.join(results_dir, "bench_telemetry_overhead.json"), "w") as f:
         json.dump(record, f, indent=2)
     # The observability budget: collection costs at most 5% wall clock.
@@ -248,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
         f"on={overhead['telemetry_on_s']:.3f}s "
         f"(+{overhead['overhead_ratio'] * 100:.2f}%)"
     )
+    bench_envelope(record, bench="runtime", quick=args.quick)
     os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
     with open(args.out, "w") as f:
         json.dump(record, f, indent=2)

@@ -72,6 +72,7 @@ from repro.campaign.supervise import (
     Supervisor,
 )
 from repro.campaign.units import UnitResult, WorkUnit, execute_unit
+from repro.obs.live import live_collector, record_live
 from repro.runtime.engine import ExecutionEngine
 
 #: Error text journaled when a pool worker is lost mid-unit.
@@ -592,6 +593,15 @@ class CampaignMaster:
                             float(cast(float, record.get("t", 0.0))),
                         )
                 now = time.time()
+                if live_collector() is not None:
+                    # Exec-scoped, advisory: queue counts and lease
+                    # health for the snapshot stream watch tails.
+                    counts = queue.counts()
+                    for name in sorted(counts):
+                        record_live(f"campaign.units.{name}", counts[name])
+                    health = supervisor.health_counts(now)
+                    for name in sorted(health):
+                        record_live(f"campaign.leases.{name}", health[name])
                 abandon: set[int] = set()
                 if self._draining:
                     if self._drain_deadline is None:

@@ -279,6 +279,19 @@ class Supervisor:
             key: lease.health(now, self.policy) for key, lease in self.leases.items()
         }
 
+    def health_counts(self, now: float) -> dict[str, int]:
+        """How many tracked leases are live / slow / stuck at time *now*.
+
+        The campaign master records these into the live telemetry
+        side-channel each tick; the snapshot stream is what lets
+        ``repro.tools.watch`` draw fleet health without replaying the
+        journal itself.
+        """
+        counts = {health.value: 0 for health in LeaseHealth}
+        for lease in self.leases.values():
+            counts[lease.health(now, self.policy).value] += 1
+        return counts
+
     def decide(self, now: float) -> list[Extend | Reclaim]:
         """Extend the SLOW, reclaim the STUCK; updates tracker state.
 

@@ -17,7 +17,7 @@ from repro.checks.rules.determinism import (
     WorkerRngRule,
 )
 from repro.checks.rules.dtype import Uint8ArithmeticRule, UnclippedUint8CastRule
-from repro.checks.rules.obs import LibraryPrintRule
+from repro.checks.rules.obs import LibraryPrintRule, LiveSnapshotSinkRule
 from repro.checks.rules.resources import ExecutorRule, SharedMemoryRule
 from repro.checks.rules.rng import (
     HashInSeedRule,
@@ -44,6 +44,7 @@ def all_rules() -> list[Rule]:
         ExecutorRule(),
         PublicApiAnnotationRule(),
         LibraryPrintRule(),
+        LiveSnapshotSinkRule(),
         WorkerRngRule(),
         WallClockSinkRule(),
         IterationOrderRule(),

@@ -23,6 +23,12 @@ Labels
     The value was read out of an exec-scoped metric (``.value`` of a
     gauge, pool counters); folding it into work-scoped metrics crosses
     the scope boundary (DET004).
+``live-snapshot``
+    The value was read out of a live time-series (``.latest()`` /
+    ``.points()`` / ``.values()`` of a :class:`repro.obs.live.TimeSeries`,
+    or a collector ``.snapshot()``).  Live points are wall-clock-stamped
+    by construction, so they are exec-scoped by definition and must
+    never feed a work-scoped sink (OBS002).
 
 Propagation is conservative-by-default: an expression's taint is the
 join of its children's, with special cases for sources (clock calls,
@@ -52,6 +58,7 @@ WALLCLOCK = "wallclock"
 UNORDERED_SET = "unordered-set"
 DICT_VIEW = "dict-view"
 EXEC_METRIC = "exec-metric"
+LIVE_SNAPSHOT = "live-snapshot"
 
 #: The order-sensitivity labels (what ``sorted`` sanitizes).
 ORDER_LABELS = frozenset({UNORDERED_SET, DICT_VIEW})
@@ -91,6 +98,13 @@ METRIC_WRITES = frozenset({"inc", "observe", "observe_array", "set"})
 
 #: Attributes that read a value back out of a metric.
 _METRIC_READS = frozenset({"value", "count", "counts", "min", "max"})
+
+#: Methods that read points back out of a live time-series / collector.
+_LIVE_READS = frozenset({"latest", "latest_time", "points", "values", "snapshot"})
+
+#: Constructors / factories whose result is a live series or collector
+#: (mirrors :mod:`repro.obs.live`).
+_LIVE_FACTORIES = frozenset({"TimeSeries", "LiveCollector", "live_collector"})
 
 #: Maximum interprocedural recursion when following local call returns.
 _MAX_DEPTH = 12
@@ -318,6 +332,23 @@ class FlowAnalyzer:
             return out
         if (
             isinstance(call.func, ast.Attribute)
+            and call.func.attr in _LIVE_READS
+            and self._is_live_series_expr(call.func.value, fn)
+        ):
+            out = dict(self.taint(call.func.value, fn, depth))
+            out.setdefault(
+                LIVE_SNAPSHOT,
+                (
+                    self.step(
+                        call,
+                        f".{call.func.attr}() reads a live time-series "
+                        "(wall-clock-stamped snapshot data)",
+                    ),
+                ),
+            )
+            return out
+        if (
+            isinstance(call.func, ast.Attribute)
             and call.func.attr in _DICT_VIEW_METHODS
             and not call.args
             and not call.keywords
@@ -363,6 +394,36 @@ class FlowAnalyzer:
         # transform a tainted value still hand back a tainted value).
         self._merge(out, self._children_taint(call, fn, depth))
         return out
+
+    # ------------------------------------------------------------------
+    # Live-series classification (OBS002)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_live_factory(call: ast.Call) -> bool:
+        """Whether *call* constructs or fetches a live series/collector."""
+        name = call_name(call)
+        leaf = name.rsplit(".", 1)[-1] if name else ""
+        if leaf in _LIVE_FACTORIES:
+            return True
+        return isinstance(call.func, ast.Attribute) and call.func.attr == "series"
+
+    def _is_live_series_expr(
+        self, expr: ast.expr, fn: FunctionInfo | None
+    ) -> bool:
+        """Whether *expr* evaluates to a live time-series / collector."""
+        if isinstance(expr, ast.Call):
+            return self._is_live_factory(expr)
+        if isinstance(expr, ast.Name):
+            assigned: list[ast.expr] = []
+            if fn is not None:
+                assigned.extend(fn.assignments.get(expr.id, []))
+            if not assigned:
+                assigned.extend(self.analysis.module_assignments.get(expr.id, []))
+            return any(
+                isinstance(value, ast.Call) and self._is_live_factory(value)
+                for value in assigned
+            )
+        return False
 
     # ------------------------------------------------------------------
     # Metric classification

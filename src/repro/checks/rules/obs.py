@@ -14,6 +14,14 @@ OBS001
     Library code calls the ``print()`` builtin; record a metric, emit a
     span/event, or return a report object instead (see
     ``docs/observability.md``).
+OBS002
+    A live time-series value (``.latest()`` / ``.points()`` /
+    ``.values()`` of a :class:`repro.obs.live.TimeSeries`, or a
+    collector ``.snapshot()``) flows into a work-scoped sink.  Live
+    points are wall-clock-stamped by construction -- exec-scoped by
+    definition -- so folding one into a work-scoped metric, a unit
+    result, a journal ``done`` record, or canonical JSON breaks the
+    byte-identity contract the same way DET004's exec-metric reads do.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from repro.checks.engine import FileContext, Finding, Rule
+from repro.checks.rules.determinism import _Sink, _TaintSinkRule
+from repro.checks.rules.flow import LIVE_SNAPSHOT
 
 
 class LibraryPrintRule(Rule):
@@ -54,3 +64,23 @@ class LibraryPrintRule(Rule):
                     "print() in library code; record telemetry via repro.obs "
                     "or return a report object the CLIs can render",
                 )
+
+
+class LiveSnapshotSinkRule(_TaintSinkRule):
+    """OBS002: live time-series reads must not reach work-scoped sinks."""
+
+    rule_id = "OBS002"
+    description = (
+        "live time-series snapshot values (wall-clock-stamped by "
+        "construction) must not flow into work-scoped metric writes, unit "
+        "results, journal done records, or canonical JSON output"
+    )
+    label = LIVE_SNAPSHOT
+
+    def message_for(self, sink: _Sink) -> str:
+        return (
+            f"live time-series value flows into {sink.desc}; snapshot "
+            "points are wall-clock-stamped and exec-scoped by definition "
+            "-- keep them on the live side-channel (repro.obs.live), out "
+            "of the exact-merge contract"
+        )

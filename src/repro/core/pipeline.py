@@ -36,6 +36,7 @@ from repro.core.multiplexer import DataFrameSchedule, MultiplexedStream
 from repro.display.panel import DisplayPanel
 from repro.display.scheduler import DisplayTimeline
 from repro.obs import RunTelemetry, Telemetry
+from repro.obs.live import live_collector
 from repro.obs.metrics import WORK
 from repro.runtime.link_exec import CaptureSource, execute_link_captures
 from repro.runtime.profiler import RuntimeReport
@@ -246,6 +247,11 @@ def run_link(
 
         exec_camera = FaultInjectedCamera(camera, compiled)
     telemetry = Telemetry(track="main") if collect_telemetry else None
+    live = live_collector()
+    if telemetry is not None and live is not None:
+        # The installed LiveCollector samples this run's registry at its
+        # snapshot cadence (read-only: the exact-merge contract holds).
+        live.attach(telemetry.metrics, prefix="link.")
     execution = execute_link_captures(
         timeline,
         exec_camera,
@@ -523,6 +529,9 @@ def run_transport_link(
         "blackout_rounds": 0,
     }
     telemetry = Telemetry(track="transport") if collect_telemetry else None
+    live = live_collector()
+    if telemetry is not None and live is not None:
+        live.attach(telemetry.metrics, prefix="transport.")
 
     def forward(packets: list[bytes]) -> list[bytes]:
         """One PHY pass: multiplex the batch, film it, decode packets."""

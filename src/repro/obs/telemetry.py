@@ -228,6 +228,11 @@ def _histogram_block(name: str, payload: MetricDict) -> str:
     )
     lines = [f"{name}: n={total}{span}{mark}"]
     peak = max(counts) if counts else 0
+    if total == 0 or peak == 0:
+        # Zero-sample histograms have nothing to scale bars against;
+        # say so explicitly instead of rendering an empty block.
+        lines.append("    (no samples)")
+        return "\n  ".join(lines)
     labels = (
         [f"< {edges[0]:g}"]
         + [f"[{a:g}, {b:g})" for a, b in zip(edges, edges[1:])]
@@ -237,6 +242,6 @@ def _histogram_block(name: str, payload: MetricDict) -> str:
     for label, count in zip(labels, counts):
         if count == 0:
             continue
-        bar = "#" * max(1, round(24 * count / peak)) if peak else ""
+        bar = "#" * max(1, round(24 * count / peak))
         lines.append(f"    {label:<{label_width}s} {count:>8d} {bar}")
     return "\n  ".join(lines)

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.obs import Telemetry
+from repro.obs.live import record_live
 from repro.obs.trace import EXEC
 
 #: ``func(item, context) -> result`` -- must be a module-level function.
@@ -314,6 +315,9 @@ class ExecutionEngine:
                 items[index] = prepare(index, items[index])
             results[index] = func(items[index], context)
             self.stats.serial_items += 1
+            # Live progress is exec-scoped and advisory: a no-op unless
+            # a LiveCollector is installed for this process.
+            record_live("engine.items_done", self.stats.serial_items)
             if on_result is not None:
                 on_result(index, results[index])
 
@@ -371,6 +375,8 @@ class ExecutionEngine:
                     inflight[future] = index
                 if not inflight:
                     break
+                record_live("engine.inflight", len(inflight))
+                record_live("engine.pending", len(queue))
                 timeout = tick_interval_s if tick is not None else None
                 done, _ = wait(
                     list(inflight), timeout=timeout, return_when=FIRST_COMPLETED

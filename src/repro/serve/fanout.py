@@ -31,6 +31,7 @@ from repro.core.decoder import BlockObservation, InFrameDecoder
 from repro.display.scheduler import MemoizedTimeline
 from repro.faults.inject import FaultInjectedCamera, apply_stream_faults
 from repro.obs import RunTelemetry, Telemetry
+from repro.obs.live import live_collector, record_live
 from repro.obs.metrics import EXEC
 from repro.obs.telemetry import TelemetryDict
 from repro.runtime.engine import ExecutionEngine
@@ -266,6 +267,9 @@ def run_fleet(
             session.panel.gamma_curve.peak_luminance * session.panel.brightness
         )
     telemetry = Telemetry(track="serve")
+    live = live_collector()
+    if live is not None:
+        live.attach(telemetry.metrics)
 
     horizon = (
         max(
@@ -296,12 +300,30 @@ def run_fleet(
         seed=seed,
         default_dwell_s=default_dwell_s,
     )
+    # Live delivery progress: chunk results arrive in completion order,
+    # so the counters here are exec-scoped by nature.  They feed only
+    # the advisory snapshot stream; the report below still merges the
+    # ordered `outputs` list, so report/metrics bytes are untouched.
+    progress = {"done": 0, "delivered": 0}
+
+    def _on_chunk(_index: int, output: _ChunkOutput) -> None:
+        progress["done"] += len(output.results)
+        progress["delivered"] += sum(1 for r in output.results if r.delivered)
+        record_live("serve.receivers_done", progress["done"])
+        record_live("serve.delivered", progress["delivered"])
+        if progress["done"]:
+            record_live(
+                "serve.delivery_rate", progress["delivered"] / progress["done"]
+            )
+
     session.retain_readers()
     try:
         with telemetry.tracer.span(
             "serve.fanout", category=EXEC, receivers=len(specs), chunks=len(chunks)
         ):
-            outputs = engine.map(_simulate_fleet_chunk, chunks, context=context)
+            outputs = engine.map(
+                _simulate_fleet_chunk, chunks, context=context, on_result=_on_chunk
+            )
     finally:
         session.release_readers()
 

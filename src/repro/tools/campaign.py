@@ -44,6 +44,7 @@ from repro.campaign import (
 from repro.campaign.chaos import tamper_from_env
 from repro.campaign.journal import compact_journal
 from repro.campaign.supervise import SupervisePolicy
+from repro.tools.simulate import LiveSession, add_live_arguments
 
 
 def _add_journal_argument(
@@ -96,6 +97,7 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="after SIGTERM, how long in-flight units get to finish",
     )
+    add_live_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -206,8 +208,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         supervise=_policy(args, args.lease_timeout),
         drain_timeout_s=args.drain_timeout,
     )
-    outcome = master.run()
+    live = LiveSession(args)
+    with live:
+        outcome = master.run()
     _emit_report(args, outcome.report)
+    _emit_profile(args, live)
     return _exit_code(outcome)
 
 
@@ -223,9 +228,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         supervise=_policy(args, lease_timeout_s),
         drain_timeout_s=args.drain_timeout,
     )
-    outcome = master.run(resume=True)
+    live = LiveSession(args)
+    with live:
+        outcome = master.run(resume=True)
     _emit_report(args, outcome.report)
+    _emit_profile(args, live)
     return _exit_code(outcome)
+
+
+def _emit_profile(args: argparse.Namespace, live: LiveSession) -> None:
+    profile = live.profile_summary()
+    if profile is not None and not args.json:
+        print(profile)
 
 
 def _exit_code(outcome: CampaignOutcome) -> int:

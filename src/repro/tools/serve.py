@@ -23,7 +23,12 @@ from repro.serve import (
     parse_cohorts,
     run_fleet,
 )
-from repro.tools.simulate import add_telemetry_argument, write_telemetry
+from repro.tools.simulate import (
+    LiveSession,
+    add_live_arguments,
+    add_telemetry_argument,
+    write_telemetry,
+)
 
 #: Two cohorts, one faulted -- a representative default fleet.
 _DEFAULT_COHORTS = (
@@ -90,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the fleet report JSON to a file",
     )
     add_telemetry_argument(parser)
+    add_live_arguments(parser)
     return parser
 
 
@@ -109,7 +115,8 @@ def main(argv: list[str] | None = None) -> int:
     payload = deterministic_payload(args.payload_bytes, seed=args.seed)
     base_camera = scale.camera()
     wall0 = time.perf_counter()
-    with BroadcastSession(config, scale.video(args.video), payload) as session:
+    live = LiveSession(args)
+    with live, BroadcastSession(config, scale.video(args.video), payload) as session:
         if not args.json:
             print(
                 f"broadcast: video={args.video} scale={args.scale} "
@@ -136,6 +143,9 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(fleet.report.summary())
         print(f"  wall clock: {elapsed_s:.2f} s")
+        profile = live.profile_summary()
+        if profile is not None:
+            print(profile)
     return 0
 
 

@@ -20,7 +20,98 @@ from dataclasses import replace
 from repro.analysis.experiments import ExperimentScale
 from repro.core.pipeline import run_link
 from repro.faults import FaultPlan
-from repro.obs import RunTelemetry
+from repro.obs import (
+    LiveCollector,
+    RunTelemetry,
+    SamplingProfiler,
+    install_live,
+)
+
+
+def add_live_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared live-telemetry / sampling-profiler option group.
+
+    Used by simulate, transfer, serve and campaign alike; pair it with
+    :class:`LiveSession` in ``main()``.
+    """
+    group = parser.add_argument_group("live telemetry")
+    group.add_argument(
+        "--snapshot-out",
+        metavar="PATH",
+        default=None,
+        help="stream repro.obs.live/1 JSONL snapshots here at the "
+        "snapshot cadence (tail them with python -m repro.tools.watch)",
+    )
+    group.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="live snapshot cadence (default: 1.0)",
+    )
+    group.add_argument(
+        "--profile-sampling",
+        action="store_true",
+        help="attach the sampling profiler and print the per-stage "
+        "breakdown after the run",
+    )
+    group.add_argument(
+        "--flamegraph-out",
+        metavar="PATH",
+        default=None,
+        help="write the sampled stacks in collapsed-stack format "
+        "(implies --profile-sampling)",
+    )
+
+
+class LiveSession:
+    """Install/tear down the live collector + profiler a CLI asked for.
+
+    Entering installs a process-wide :class:`~repro.obs.LiveCollector`
+    (when ``--snapshot-out`` was given) and starts a
+    :class:`~repro.obs.SamplingProfiler` (for ``--profile-sampling`` /
+    ``--flamegraph-out``).  Exiting stops both, writes the flamegraph,
+    and uninstalls the collector; :attr:`profiler` stays readable so the
+    CLI can print the stage breakdown after the run.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.collector: LiveCollector | None = None
+        self.profiler: SamplingProfiler | None = None
+        self._flamegraph_out: str | None = getattr(args, "flamegraph_out", None)
+        if getattr(args, "snapshot_out", None) is not None:
+            if args.snapshot_interval <= 0.0:
+                raise ValueError(
+                    f"--snapshot-interval must be > 0, got {args.snapshot_interval}"
+                )
+            self.collector = LiveCollector(
+                interval_s=args.snapshot_interval, snapshot_path=args.snapshot_out
+            )
+        if getattr(args, "profile_sampling", False) or self._flamegraph_out:
+            self.profiler = SamplingProfiler()
+
+    def __enter__(self) -> "LiveSession":
+        if self.collector is not None:
+            install_live(self.collector)
+            self.collector.start()
+        if self.profiler is not None:
+            self.profiler.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self.profiler is not None:
+            self.profiler.stop()
+            if self._flamegraph_out is not None:
+                self.profiler.report().write_collapsed(self._flamegraph_out)
+        if self.collector is not None:
+            self.collector.stop()
+            install_live(None)
+
+    def profile_summary(self) -> str | None:
+        """The profiler's stage breakdown, or None when not profiling."""
+        if self.profiler is None:
+            return None
+        return self.profiler.report().summary()
 
 
 def add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
@@ -129,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_telemetry_argument(parser)
     add_fault_arguments(parser)
+    add_live_arguments(parser)
     return parser
 
 
@@ -154,15 +246,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{config.data_frame_rate_hz:g} frames/s"
         )
     wall0 = time.perf_counter()
-    run = run_link(
-        config,
-        scale.video(args.video),
-        camera=camera,
-        seed=args.seed,
-        workers=args.workers,
-        faults=faults,
-        heal=heal,
-    )
+    with LiveSession(args) as live:
+        run = run_link(
+            config,
+            scale.video(args.video),
+            camera=camera,
+            seed=args.seed,
+            workers=args.workers,
+            faults=faults,
+            heal=heal,
+        )
     elapsed_s = time.perf_counter() - wall0
     stats = run.stats
     write_telemetry(args.telemetry_out, run.telemetry)
@@ -180,6 +273,8 @@ def main(argv: list[str] | None = None) -> int:
             record["degradation"] = run.degradation.as_dict()
         if args.profile and run.runtime is not None:
             record["runtime"] = run.runtime.as_dict()
+        if live.profiler is not None:
+            record["profile"] = live.profiler.report().as_dict()
         print(json.dumps(record, indent=2))
         return 0
     print(f"  decoded data frames : {stats.n_data_frames}")
@@ -196,6 +291,9 @@ def main(argv: list[str] | None = None) -> int:
         print(run.degradation.summary())
     if args.profile and run.runtime is not None:
         print(run.runtime.summary())
+    profile = live.profile_summary()
+    if profile is not None:
+        print(profile)
     return 0
 
 

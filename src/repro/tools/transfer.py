@@ -21,7 +21,9 @@ from repro.analysis.experiments import ExperimentScale
 from repro.core.pipeline import run_transport_link
 from repro.obs import RunTelemetry
 from repro.tools.simulate import (
+    LiveSession,
     add_fault_arguments,
+    add_live_arguments,
     add_telemetry_argument,
     parse_fault_plan,
     write_telemetry,
@@ -101,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_telemetry_argument(parser)
     add_fault_arguments(parser)
+    add_live_arguments(parser)
     group = parser.add_argument_group("degradation policy")
     group.add_argument(
         "--retry-budget",
@@ -163,49 +166,54 @@ def main(argv: list[str] | None = None) -> int:
     results = []
     records = []
     telemetries: list[RunTelemetry | None] = []
-    for mode in modes:
-        wall0 = time.perf_counter()
-        run = run_transport_link(
-            config,
-            video,
-            payload,
-            mode=mode,
-            camera=scale.camera(),
-            rs_n=args.rs_n,
-            rs_k=args.rs_k,
-            seed=args.seed,
-            max_rounds=args.max_rounds,
-            extra_gob_loss=args.loss,
-            feedback_loss=args.feedback_loss,
-            join_offset=args.join_offset,
-            workers=args.workers,
-            faults=faults,
-            heal=heal,
-            retry_budget=args.retry_budget,
-            deadline_s=args.deadline_s,
-        )
-        elapsed_s = time.perf_counter() - wall0
-        results.append(run.stats)
-        telemetries.append(run.telemetry)
-        record = dataclasses.asdict(run.stats)
-        record["elapsed_s"] = elapsed_s
-        frames = run.runtime.frames if run.runtime is not None else 0
-        record["frames_per_s"] = frames / elapsed_s if elapsed_s > 0 else 0.0
-        if run.degradation is not None:
-            record["degradation"] = run.degradation.as_dict()
-        if args.profile and run.runtime is not None:
-            record["runtime"] = run.runtime.as_dict()
-        records.append(record)
-        if not args.json:
-            print(f"  {run.stats.row()}  [{elapsed_s:.2f} s]")
-            if run.arq_stats is not None:
-                print(f"           {run.arq_stats.row()}")
+    live = LiveSession(args)
+    with live:
+        for mode in modes:
+            wall0 = time.perf_counter()
+            run = run_transport_link(
+                config,
+                video,
+                payload,
+                mode=mode,
+                camera=scale.camera(),
+                rs_n=args.rs_n,
+                rs_k=args.rs_k,
+                seed=args.seed,
+                max_rounds=args.max_rounds,
+                extra_gob_loss=args.loss,
+                feedback_loss=args.feedback_loss,
+                join_offset=args.join_offset,
+                workers=args.workers,
+                faults=faults,
+                heal=heal,
+                retry_budget=args.retry_budget,
+                deadline_s=args.deadline_s,
+            )
+            elapsed_s = time.perf_counter() - wall0
+            results.append(run.stats)
+            telemetries.append(run.telemetry)
+            record = dataclasses.asdict(run.stats)
+            record["elapsed_s"] = elapsed_s
+            frames = run.runtime.frames if run.runtime is not None else 0
+            record["frames_per_s"] = frames / elapsed_s if elapsed_s > 0 else 0.0
             if run.degradation is not None:
-                print(run.degradation.summary())
+                record["degradation"] = run.degradation.as_dict()
             if args.profile and run.runtime is not None:
-                print(run.runtime.summary())
+                record["runtime"] = run.runtime.as_dict()
+            records.append(record)
+            if not args.json:
+                print(f"  {run.stats.row()}  [{elapsed_s:.2f} s]")
+                if run.arq_stats is not None:
+                    print(f"           {run.arq_stats.row()}")
+                if run.degradation is not None:
+                    print(run.degradation.summary())
+                if args.profile and run.runtime is not None:
+                    print(run.runtime.summary())
 
     write_telemetry(args.telemetry_out, RunTelemetry.merge(telemetries))
+    profile = live.profile_summary()
+    if profile is not None and not args.json:
+        print(profile)
     if args.json:
         print(json.dumps(records[0] if args.mode != "all" else records, indent=2))
     if args.mode == "all":

@@ -1,0 +1,28 @@
+"""Clean OBS002 fixture: sanctioned live time-series flows.
+
+Live points may feed exec-scoped gauges (exec-to-exec flow), the live
+side-channel's own exporters, or an explicitly ``exec-scope``-pragma'd
+output; none of these touches the exact-merge contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.live import TimeSeries
+
+
+def mirror_exec(registry: Any, collector: Any) -> None:
+    throughput = collector.series("engine.items_done")
+    mirror = registry.gauge("exec.items_done_mirror")
+    mirror.set(throughput.latest())
+
+
+def record_progress(series: TimeSeries, value: float) -> None:
+    series.record(value)
+
+
+def stream_json(collector: Any) -> str:  # checks: exec-scope
+    snapshot = collector.snapshot()
+    return json.dumps(snapshot, sort_keys=True)

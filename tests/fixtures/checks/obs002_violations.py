@@ -1,0 +1,38 @@
+"""OBS002 fixture: live time-series reads crossing into work scope.
+
+Live snapshot points are wall-clock-stamped by construction, so any
+flow into a work-scoped counter, a ``UnitResult``, or a canonical
+``*_json`` output trades byte-identity for a number that depends on
+when the watcher looked.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.campaign.units import UnitResult
+from repro.obs.live import TimeSeries, live_collector
+
+
+def fold(registry: Any, collector: Any) -> None:
+    throughput = collector.series("engine.items_done")
+    decoded = registry.counter("work.decoded")
+    decoded.inc(throughput.latest())
+
+
+def report(index: int, key: str) -> UnitResult:
+    series = TimeSeries("unit.progress")
+    return UnitResult(
+        index=index,
+        key=key,
+        ok=True,
+        error=None,
+        metrics={"progress": series.latest()},
+    )
+
+
+def progress_json() -> str:
+    collector = live_collector()
+    snapshot = collector.snapshot()
+    return json.dumps(snapshot, sort_keys=True)

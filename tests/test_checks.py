@@ -61,6 +61,7 @@ class TestCleanFixtures:
             "resources_clean.py",
             "api_clean.py",
             "obs_clean.py",
+            "obs002_clean.py",
             "det_clean.py",
             "resources_helper_clean.py",
         ],
@@ -88,6 +89,7 @@ class TestViolatingFixtures:
         "resources_violations.py": {"RES001", "RES002"},
         "api_violations.py": {"API001"},
         "obs_violations.py": {"OBS001"},
+        "obs002_violations.py": {"OBS002"},
         # DET001's unseeded case is also RNG003: different halves of
         # the same bug (unreproducible vs schedule-dependent).
         "det001_violations.py": {"DET001", "RNG003"},

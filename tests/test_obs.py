@@ -251,6 +251,40 @@ class TestRunTelemetry:
         assert "run=link" in text
 
 
+class TestHistogramSummary:
+    """The ascii-bar block degrades gracefully at the edges."""
+
+    def _summary(self, observations, edges=(0.0, 1.0, 2.0)):
+        telemetry = Telemetry(track="main")
+        histogram = telemetry.metrics.histogram("decode.noise", edges=edges)
+        for value in observations:
+            histogram.observe(value)
+        return telemetry.finish(meta={}).summary()
+
+    def test_empty_histogram_says_no_samples(self):
+        text = self._summary([])
+        assert "decode.noise: n=0" in text
+        assert "(no samples)" in text
+        assert "#" not in text
+
+    def test_single_bucket_gets_a_full_bar(self):
+        text = self._summary([0.5])
+        assert "n=1 min=0.5 max=0.5" in text
+        assert "(no samples)" not in text
+        bars = [line for line in text.splitlines() if "#" in line]
+        assert len(bars) == 1
+        assert bars[0].rstrip().endswith("#" * 24)
+
+    def test_saturated_bucket_keeps_small_buckets_visible(self):
+        text = self._summary([0.5] * 1000 + [1.5])
+        bars = [line for line in text.splitlines() if "#" in line]
+        assert len(bars) == 2
+        widths = sorted(line.count("#") for line in bars)
+        # The peak bucket saturates the 24-char bar; the 1-count bucket
+        # still renders a visible single-hash bar instead of vanishing.
+        assert widths == [1, 24]
+
+
 class TestLinkTelemetry:
     """End-to-end: the pipeline's telemetry honours the determinism contract."""
 
